@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Shared infrastructure for the experiment harnesses in bench/.
+ *
+ * Each bench binary reproduces one table or figure of the paper. They
+ * all consume the same (benchmark x policy) simulation sweep, so
+ * results are memoized on disk: a run keyed by its full configuration
+ * is simulated once and reused by every other harness (delete
+ * $SLIP_BENCH_CACHE, default /tmp/slip_bench_cache, to force re-runs).
+ *
+ * Environment knobs:
+ *   SLIP_BENCH_REFS   measured references per run (default 1500000)
+ *   SLIP_BENCH_WARMUP warm-up references (default = SLIP_BENCH_REFS)
+ *   SLIP_BENCH_CACHE  cache directory
+ */
+
+#ifndef SLIP_BENCH_BENCH_COMMON_HH
+#define SLIP_BENCH_BENCH_COMMON_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/system.hh"
+#include "util/table.hh"
+#include "workloads/spec_suite.hh"
+
+namespace slip {
+namespace bench {
+
+/** Everything a figure needs from one simulation run. */
+struct RunResult
+{
+    // L2 (summed over cores) and L3 stats.
+    CacheLevelStats l2;
+    CacheLevelStats l3;
+
+    double l2EnergyPj = 0;
+    double l3EnergyPj = 0;
+    double l1EnergyPj = 0;
+    double fullSystemPj = 0;
+    double cycles = 0;
+    double instructions = 0;
+
+    double dramReads = 0;
+    double dramWrites = 0;
+    double dramMetaAccesses = 0;
+    double dramTrafficLines = 0;
+    double dramEnergyPj = 0;
+
+    double tlbMisses = 0;
+    double eouOps = 0;
+};
+
+/** Sweep configuration shared by the harnesses. */
+struct SweepOptions
+{
+    std::uint64_t refs;
+    std::uint64_t warmup;
+    TechParams tech;
+    TopologyKind topology = TopologyKind::HierBusWayInterleaved;
+    SamplingMode samplingMode = SamplingMode::TimeBased;
+    unsigned rdBinBits = 4;
+    bool eouIncludeInsertion = true;
+    ReplKind repl = ReplKind::Lru;
+    bool randomSublevelVictim = false;
+
+    SweepOptions();  // reads the environment knobs
+
+    /** Stable string identifying this configuration (cache key part). */
+    std::string key() const;
+};
+
+/** Simulate (or load from cache) one benchmark under one policy. */
+RunResult runOne(const std::string &benchmark, PolicyKind policy,
+                 const SweepOptions &opts);
+
+/** Simulate (or load) a two-core mix with a shared L3 (Figure 16). */
+RunResult runMix(const std::string &a, const std::string &b,
+                 PolicyKind policy, const SweepOptions &opts);
+
+/** The five policies in the paper's comparison order. */
+const std::vector<PolicyKind> &allPolicies();
+
+/** Print a standard bench header. */
+void printHeader(const std::string &title, const std::string &paper_ref,
+                 const SweepOptions &opts);
+
+/** Geometric-mean-free simple average helper. */
+double average(const std::vector<double> &v);
+
+} // namespace bench
+} // namespace slip
+
+#endif // SLIP_BENCH_BENCH_COMMON_HH

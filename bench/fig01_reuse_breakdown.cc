@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Figure 1: fraction of lines broken down by number of reuses (NR)
+ * before eviction from a 2 MB LLC, for the seven benchmarks the paper
+ * plots. The paper observes >70% of lines receive no hit at all and
+ * ~21% of the remainder receive exactly one.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+
+using namespace slip;
+using namespace slip::bench;
+
+int
+main()
+{
+    SweepOptions opts;
+    printHeader("Figure 1: lines by number of reuses (NR) in the LLC",
+                "paper: avg >70% of lines see NR=0; 21% of the rest "
+                "see a single hit",
+                opts);
+
+    TextTable t;
+    t.setHeader({"benchmark", "NR=0", "NR=1", "NR=2", "NR>2"});
+
+    std::vector<double> nr0s, nr1s, nr2s, nr3s;
+    for (const auto &benchn : figure1Benchmarks()) {
+        const RunResult r = runOne(benchn, PolicyKind::Baseline, opts);
+        double total = 0;
+        for (unsigned i = 0; i < 4; ++i)
+            total += double(r.l3.reuseHistogram[i]);
+        if (total == 0)
+            total = 1;
+        const double f0 = r.l3.reuseHistogram[0] / total;
+        const double f1 = r.l3.reuseHistogram[1] / total;
+        const double f2 = r.l3.reuseHistogram[2] / total;
+        const double f3 = r.l3.reuseHistogram[3] / total;
+        t.addRow({benchn, TextTable::pct(f0), TextTable::pct(f1),
+                  TextTable::pct(f2), TextTable::pct(f3)});
+        nr0s.push_back(f0);
+        nr1s.push_back(f1);
+        nr2s.push_back(f2);
+        nr3s.push_back(f3);
+    }
+    t.addSeparator();
+    t.addRow({"average", TextTable::pct(average(nr0s)),
+              TextTable::pct(average(nr1s)),
+              TextTable::pct(average(nr2s)),
+              TextTable::pct(average(nr3s))});
+    std::fputs(t.render().c_str(), stdout);
+
+    std::printf("\npaper-reported average: NR=0 >70%%, NR=1 ~21%% of "
+                "reused lines\n");
+    const double reused = 1.0 - average(nr0s);
+    if (reused > 0)
+        std::printf("measured: NR=0 %.0f%%; single-hit share of reused "
+                    "lines %.0f%%\n",
+                    100 * average(nr0s), 100 * average(nr1s) / reused);
+    return 0;
+}

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Figure 9: L2 and L3 energy savings over the regular cache hierarchy
+ * for SLIP and SLIP+ABP, per benchmark. The caption also reports that
+ * NuRAPID and LRU-PEA *increase* energy (L2: +84%/+79%, L3: +94%/+83%),
+ * which this harness reproduces as extra columns.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+
+using namespace slip;
+using namespace slip::bench;
+
+int
+main()
+{
+    SweepOptions opts;
+    printHeader(
+        "Figure 9: cache energy savings vs. the regular hierarchy",
+        "paper avgs: SLIP 21%/13%, SLIP+ABP 35%/22% (L2/L3); NuRAPID "
+        "-84%/-94%; LRU-PEA -79%/-83%",
+        opts);
+
+    TextTable t;
+    t.setHeader({"benchmark", "SLIP.L2", "SLIP+ABP.L2", "SLIP.L3",
+                 "SLIP+ABP.L3", "NuRAPID.L2", "LRU-PEA.L2",
+                 "NuRAPID.L3", "LRU-PEA.L3"});
+
+    std::map<std::string, std::vector<double>> avg;
+    for (const auto &benchn : specBenchmarks()) {
+        const RunResult base = runOne(benchn, PolicyKind::Baseline, opts);
+        auto sav = [&](PolicyKind pk, bool l3) {
+            const RunResult r = runOne(benchn, pk, opts);
+            return l3 ? 1.0 - r.l3EnergyPj / base.l3EnergyPj
+                      : 1.0 - r.l2EnergyPj / base.l2EnergyPj;
+        };
+        const double s2 = sav(PolicyKind::Slip, false);
+        const double sa2 = sav(PolicyKind::SlipAbp, false);
+        const double s3 = sav(PolicyKind::Slip, true);
+        const double sa3 = sav(PolicyKind::SlipAbp, true);
+        const double n2 = sav(PolicyKind::NuRapid, false);
+        const double p2 = sav(PolicyKind::LruPea, false);
+        const double n3 = sav(PolicyKind::NuRapid, true);
+        const double p3 = sav(PolicyKind::LruPea, true);
+        t.addRow({benchn, TextTable::pct(s2), TextTable::pct(sa2),
+                  TextTable::pct(s3), TextTable::pct(sa3),
+                  TextTable::pct(n2), TextTable::pct(p2),
+                  TextTable::pct(n3), TextTable::pct(p3)});
+        avg["s2"].push_back(s2);
+        avg["sa2"].push_back(sa2);
+        avg["s3"].push_back(s3);
+        avg["sa3"].push_back(sa3);
+        avg["n2"].push_back(n2);
+        avg["p2"].push_back(p2);
+        avg["n3"].push_back(n3);
+        avg["p3"].push_back(p3);
+    }
+    t.addSeparator();
+    t.addRow({"average", TextTable::pct(average(avg["s2"])),
+              TextTable::pct(average(avg["sa2"])),
+              TextTable::pct(average(avg["s3"])),
+              TextTable::pct(average(avg["sa3"])),
+              TextTable::pct(average(avg["n2"])),
+              TextTable::pct(average(avg["p2"])),
+              TextTable::pct(average(avg["n3"])),
+              TextTable::pct(average(avg["p3"]))});
+    t.addRow({"paper avg", "+21%", "+35%", "+13%", "+22%", "-84%",
+              "-79%", "-94%", "-83%"});
+    std::fputs(t.render().c_str(), stdout);
+    return 0;
+}

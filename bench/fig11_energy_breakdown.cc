@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Figure 11: per-benchmark L2 and L3 energy, normalized to the
+ * baseline, broken into access and movement energy (movement includes
+ * inter-sublevel moves, insertions, and writebacks) for the five
+ * policies. The paper's qualitative result: movement energy dominates;
+ * NuRAPID/LRU-PEA win on access energy but lose badly on movement.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+
+using namespace slip;
+using namespace slip::bench;
+
+namespace {
+
+void
+printLevel(const SweepOptions &opts, bool l3)
+{
+    std::printf("-- %s: energy normalized to baseline "
+                "(access + movement + metadata/other) --\n",
+                l3 ? "L3" : "L2");
+    TextTable t;
+    std::vector<std::string> head = {"benchmark"};
+    for (PolicyKind pk : allPolicies())
+        head.push_back(policyName(pk));
+    t.setHeader(head);
+
+    for (const auto &benchn : specBenchmarks()) {
+        const RunResult base =
+            runOne(benchn, PolicyKind::Baseline, opts);
+        const CacheLevelStats &bs = l3 ? base.l3 : base.l2;
+        const double norm = bs.totalEnergyPj();
+        std::vector<std::string> row = {benchn};
+        for (PolicyKind pk : allPolicies()) {
+            const RunResult r = runOne(benchn, pk, opts);
+            const CacheLevelStats &s = l3 ? r.l3 : r.l2;
+            const double acc =
+                s.energyPj[unsigned(EnergyCat::Access)] / norm;
+            const double mov =
+                s.energyPj[unsigned(EnergyCat::Movement)] / norm;
+            const double oth =
+                (s.energyPj[unsigned(EnergyCat::Metadata)] +
+                 s.energyPj[unsigned(EnergyCat::Other)]) /
+                norm;
+            char buf[64];
+            std::snprintf(buf, sizeof(buf), "%.2f+%.2f+%.2f", acc, mov,
+                          oth);
+            row.push_back(buf);
+        }
+        t.addRow(row);
+    }
+    std::fputs(t.render().c_str(), stdout);
+    std::printf("\n");
+}
+
+} // namespace
+
+int
+main()
+{
+    SweepOptions opts;
+    printHeader(
+        "Figure 11: access vs movement energy breakdown",
+        "paper: movement dominates; NuRAPID/LRU-PEA have lower access "
+        "energy than SLIP but far higher movement energy",
+        opts);
+    printLevel(opts, false);
+    printLevel(opts, true);
+    return 0;
+}

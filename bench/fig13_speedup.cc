@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Figure 13: speedup of each policy over the regular hierarchy under
+ * the analytic OoO timing model. Paper averages: NuRAPID 0.06%,
+ * LRU-PEA 0.16%, SLIP 0.24%, SLIP+ABP 0.75% (up to 3%); all small
+ * because SPEC's memory time is dominated by DRAM.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+
+using namespace slip;
+using namespace slip::bench;
+
+int
+main()
+{
+    SweepOptions opts;
+    printHeader("Figure 13: speedup vs regular hierarchy",
+                "paper avgs: NuRAPID +0.06%, LRU-PEA +0.16%, SLIP "
+                "+0.24%, SLIP+ABP +0.75%",
+                opts);
+
+    TextTable t;
+    t.setHeader({"benchmark", "NuRAPID", "LRU-PEA", "SLIP",
+                 "SLIP+ABP"});
+
+    std::map<int, std::vector<double>> avg;
+    for (const auto &benchn : specBenchmarks()) {
+        const RunResult base = runOne(benchn, PolicyKind::Baseline, opts);
+        std::vector<std::string> row = {benchn};
+        int i = 0;
+        for (PolicyKind pk :
+             {PolicyKind::NuRapid, PolicyKind::LruPea, PolicyKind::Slip,
+              PolicyKind::SlipAbp}) {
+            const RunResult r = runOne(benchn, pk, opts);
+            const double sp = base.cycles / r.cycles - 1.0;
+            row.push_back(TextTable::pct(sp, 2));
+            avg[i++].push_back(sp);
+        }
+        t.addRow(row);
+    }
+    t.addSeparator();
+    t.addRow({"average", TextTable::pct(average(avg[0]), 2),
+              TextTable::pct(average(avg[1]), 2),
+              TextTable::pct(average(avg[2]), 2),
+              TextTable::pct(average(avg[3]), 2)});
+    t.addRow({"paper avg", "+0.06%", "+0.16%", "+0.24%", "+0.75%"});
+    std::fputs(t.render().c_str(), stdout);
+    return 0;
+}

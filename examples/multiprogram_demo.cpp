@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Example: a two-core multiprogrammed run with a shared L3
+ * (Section 6's multicore evaluation). Picks one of the paper's eight
+ * mixes, runs baseline vs SLIP+ABP, and reports per-core and shared
+ * results.
+ *
+ * Usage: multiprogram_demo [benchA] [benchB] [refs]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "sim/system.hh"
+#include "util/table.hh"
+#include "workloads/spec_suite.hh"
+
+using namespace slip;
+
+int
+main(int argc, char **argv)
+{
+    const std::string a = argc > 1 ? argv[1] : "soplex";
+    const std::string b = argc > 2 ? argv[2] : "mcf";
+    const std::uint64_t refs =
+        argc > 3 ? std::strtoull(argv[3], nullptr, 0) : 1'000'000;
+
+    std::printf("two-core mix: core0=%s core1=%s, shared 2 MB L3, "
+                "%llu refs/core\n\n",
+                a.c_str(), b.c_str(),
+                static_cast<unsigned long long>(refs));
+
+    auto run = [&](PolicyKind pk, double out[6]) {
+        SystemConfig cfg;
+        cfg.policy = pk;
+        cfg.numCores = 2;
+        System sys(cfg);
+        auto s0 = makeMixSource(a, 0);
+        auto s1 = makeMixSource(b, 1);
+        sys.run({s0.get(), s1.get()}, refs, refs);
+        out[0] = sys.l2(0).stats().totalEnergyPj();
+        out[1] = sys.l2(1).stats().totalEnergyPj();
+        out[2] = sys.l3EnergyPj();
+        out[3] = sys.dram().totalTrafficLines();
+        out[4] = sys.coreCycles(0);
+        out[5] = sys.coreCycles(1);
+    };
+
+    double base[6], abp[6];
+    run(PolicyKind::Baseline, base);
+    run(PolicyKind::SlipAbp, abp);
+
+    TextTable t;
+    t.setHeader({"metric", "baseline", "SLIP+ABP", "delta"});
+    const char *names[] = {"core0 L2 energy (uJ)", "core1 L2 energy (uJ)",
+                           "shared L3 energy (uJ)",
+                           "DRAM traffic (lines)", "core0 cycles (M)",
+                           "core1 cycles (M)"};
+    const double scale[] = {1e-6, 1e-6, 1e-6, 1.0, 1e-6, 1e-6};
+    for (int i = 0; i < 6; ++i) {
+        t.addRow({names[i], TextTable::num(base[i] * scale[i], 2),
+                  TextTable::num(abp[i] * scale[i], 2),
+                  TextTable::pct(1.0 - abp[i] / base[i])});
+    }
+    std::fputs(t.render().c_str(), stdout);
+
+    std::puts("\n(positive delta = reduction; the paper reports 47% "
+              "shared-L3 energy savings and 5.5% less DRAM traffic on "
+              "average across its eight mixes)");
+    return 0;
+}

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Quickstart: simulate one workload under the baseline hierarchy and
+ * under SLIP+ABP, and compare cache energy — the paper's headline
+ * experiment in ~60 lines of user code.
+ *
+ * Usage: quickstart [benchmark] [accesses]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "sim/system.hh"
+#include "util/table.hh"
+#include "workloads/spec_suite.hh"
+
+using namespace slip;
+
+namespace {
+
+/** Run one policy over the named benchmark and report level energies. */
+struct RunOut
+{
+    double l2Pj, l3Pj, cycles, l2MissRate, l3MissRate;
+};
+
+RunOut
+runOnce(PolicyKind policy, const std::string &bench,
+        std::uint64_t accesses)
+{
+    SystemConfig cfg;
+    cfg.policy = policy;
+    System sys(cfg);
+
+    auto workload = makeSpecWorkload(bench);
+    sys.run({workload.get()}, accesses, accesses);  // warm up fully
+
+    const CacheLevelStats l2 = sys.combinedL2Stats();
+    const CacheLevelStats &l3 = sys.l3().stats();
+    RunOut out;
+    out.l2Pj = sys.l2EnergyPj();
+    out.l3Pj = sys.l3EnergyPj();
+    out.cycles = sys.totalCycles();
+    out.l2MissRate = l2.demandAccesses
+        ? double(l2.demandMisses()) / double(l2.demandAccesses) : 0.0;
+    out.l3MissRate = l3.demandAccesses
+        ? double(l3.demandMisses()) / double(l3.demandAccesses) : 0.0;
+    return out;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const std::string bench = argc > 1 ? argv[1] : "soplex";
+    const std::uint64_t accesses =
+        argc > 2 ? std::strtoull(argv[2], nullptr, 0) : 2'000'000;
+
+    std::printf("SLIP quickstart: benchmark '%s', %llu references\n\n",
+                bench.c_str(),
+                static_cast<unsigned long long>(accesses));
+
+    const RunOut base = runOnce(PolicyKind::Baseline, bench, accesses);
+    const RunOut slip = runOnce(PolicyKind::SlipAbp, bench, accesses);
+
+    TextTable t;
+    t.setHeader({"metric", "baseline", "SLIP+ABP", "delta"});
+    t.addRow({"L2 energy (uJ)", TextTable::num(base.l2Pj * 1e-6, 2),
+              TextTable::num(slip.l2Pj * 1e-6, 2),
+              TextTable::pct(1.0 - slip.l2Pj / base.l2Pj)});
+    t.addRow({"L3 energy (uJ)", TextTable::num(base.l3Pj * 1e-6, 2),
+              TextTable::num(slip.l3Pj * 1e-6, 2),
+              TextTable::pct(1.0 - slip.l3Pj / base.l3Pj)});
+    t.addRow({"L2 miss rate", TextTable::num(base.l2MissRate, 3),
+              TextTable::num(slip.l2MissRate, 3), ""});
+    t.addRow({"L3 miss rate", TextTable::num(base.l3MissRate, 3),
+              TextTable::num(slip.l3MissRate, 3), ""});
+    t.addRow({"cycles (M)", TextTable::num(base.cycles * 1e-6, 2),
+              TextTable::num(slip.cycles * 1e-6, 2),
+              TextTable::pct(base.cycles / slip.cycles - 1.0)});
+    std::fputs(t.render().c_str(), stdout);
+
+    std::puts("\n(positive deltas = SLIP+ABP saves energy / runs "
+              "faster)");
+    return 0;
+}

@@ -1,0 +1,329 @@
+#include "cache/cache_level.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace slip {
+
+CacheLevel::CacheLevel(const CacheLevelConfig &cfg)
+    : _cfg(cfg),
+      _topo(cfg.topology, cfg.energy, cfg.ways, cfg.sublevelWays,
+            cfg.waysPerRow),
+      _mq(cfg.movementQueueEntries, cfg.movementQueuePj)
+{
+    slip_assert(cfg.sizeBytes % (std::uint64_t(cfg.ways) * kLineSize) ==
+                    0,
+                "size not divisible by ways*linesize");
+    _sets = static_cast<unsigned>(cfg.sizeBytes /
+                                  (std::uint64_t(cfg.ways) * kLineSize));
+    slip_assert(isPowerOf2(_sets), "set count %u not a power of two",
+                _sets);
+    _lines.resize(std::size_t(_sets) * cfg.ways);
+    _repl = ReplacementPolicy::create(cfg.repl, cfg.seed);
+
+    // T wraps every 4C accesses; TL is the top timestampBits of T.
+    _timeWrap = 4 * numLines();
+    const unsigned time_bits = exactLog2(_timeWrap);
+    slip_assert(time_bits >= cfg.timestampBits,
+                "timestamp wider than wrapped counter");
+    _tlShift = time_bits - cfg.timestampBits;
+}
+
+LookupResult
+CacheLevel::lookup(Addr line, AccessClass cls)
+{
+    _time = (_time + 1) % _timeWrap;
+
+    if (cls == AccessClass::Demand)
+        ++_stats.demandAccesses;
+    else
+        ++_stats.metadataAccesses;
+
+    // Every access probes the movement queue (Section 4.3).
+    if (_cfg.movementQueueEnabled)
+        chargeEnergy(EnergyCat::Other, _mq.lookup());
+
+    LookupResult res = peek(line);
+    if (res.hit) {
+        if (cls == AccessClass::Demand)
+            ++_stats.demandHits;
+        else
+            ++_stats.metadataHits;
+    }
+    return res;
+}
+
+LookupResult
+CacheLevel::peek(Addr line) const
+{
+    LookupResult res;
+    res.setIndex = setIndex(line);
+    const CacheLine *set = &_lines[std::size_t(res.setIndex) * _cfg.ways];
+    for (unsigned w = 0; w < _cfg.ways; ++w) {
+        if (set[w].valid && set[w].tag == line) {
+            res.hit = true;
+            res.way = w;
+            return res;
+        }
+    }
+    return res;
+}
+
+Cycles
+CacheLevel::recordHit(unsigned set, unsigned way, bool is_write,
+                      AccessClass cls, bool update_metadata)
+{
+    CacheLine &ln = lineAt(set, way);
+    slip_assert(ln.valid, "hit on invalid line");
+    _repl->onHit(ln);
+    ++ln.hitCount;
+    if (is_write)
+        ln.dirty = true;
+
+    if (cls == AccessClass::Demand)
+        ++_stats.sublevelHits[_topo.sublevelOf(way)];
+
+    // Distribution-metadata line reads are charged to the Metadata
+    // category so the access/movement split of Figure 11 stays clean.
+    chargeEnergy(cls == AccessClass::Metadata ? EnergyCat::Metadata
+                                              : EnergyCat::Access,
+                 _topo.wayAccessEnergy(way));
+    if (update_metadata && _cfg.slipMetadataEnabled) {
+        // Read TL, write back the new timestamp (12 b metadata line).
+        chargeMetadata();
+        ln.tl = tlNow();
+    }
+    return _topo.wayLatency(way);
+}
+
+std::uint32_t
+CacheLevel::sublevelMask(unsigned sl_begin, unsigned sl_end) const
+{
+    slip_assert(sl_begin < sl_end && sl_end <= kNumSublevels,
+                "bad sublevel range [%u,%u)", sl_begin, sl_end);
+    std::uint32_t m = 0;
+    unsigned way = 0;
+    for (unsigned sl = 0; sl < kNumSublevels; ++sl) {
+        for (unsigned i = 0; i < _topo.sublevelWays(sl); ++i, ++way)
+            if (sl >= sl_begin && sl < sl_end)
+                m |= 1u << way;
+    }
+    return m;
+}
+
+unsigned
+CacheLevel::chooseVictim(unsigned set, std::uint32_t way_mask,
+                         bool prefer_demoted)
+{
+    slip_assert(way_mask != 0, "empty way mask");
+    CacheLine *lines = setArray(set);
+
+    if (prefer_demoted) {
+        // LRU-PEA: demoted lines are evicted first; among them pick the
+        // least recently used. Invalid ways still take precedence.
+        unsigned best = _cfg.ways;
+        std::uint64_t best_stamp = ~0ull;
+        for (unsigned w = 0; w < _cfg.ways; ++w) {
+            if (!((way_mask >> w) & 1))
+                continue;
+            if (!lines[w].valid)
+                return w;
+            if (lines[w].demoted && lines[w].lruStamp <= best_stamp) {
+                best_stamp = lines[w].lruStamp;
+                best = w;
+            }
+        }
+        if (best < _cfg.ways)
+            return best;
+    }
+    return _repl->victim(lines, _cfg.ways, way_mask);
+}
+
+void
+CacheLevel::installLine(unsigned set, unsigned way, Addr line_addr,
+                        bool dirty, PolicyPair policies, InsertClass cls)
+{
+    CacheLine &ln = lineAt(set, way);
+    slip_assert(!ln.valid, "installing over a valid line");
+    slip_assert(setIndex(line_addr) == set, "line/set mismatch");
+
+    ln.tag = line_addr;
+    ln.valid = true;
+    ln.dirty = dirty;
+    ln.policies = policies;
+    ln.tl = tlNow();
+    ln.hitCount = 0;
+    ln.demoted = false;
+    _repl->onInsert(ln);
+
+    ++_stats.insertions;
+    ++_stats.insertClass[static_cast<unsigned>(cls)];
+    ++_stats.sublevelInsertions[_topo.sublevelOf(way)];
+
+    // The fill write plus the 12 b metadata copy travelling with it.
+    chargeEnergy(EnergyCat::Movement, _topo.wayAccessEnergy(way));
+    if (_cfg.slipMetadataEnabled)
+        chargeMetadata();
+}
+
+Cycles
+CacheLevel::moveLine(unsigned set, unsigned from, unsigned to)
+{
+    CacheLine &src = lineAt(set, from);
+    CacheLine &dst = lineAt(set, to);
+    slip_assert(src.valid, "moving an invalid line");
+    slip_assert(!dst.valid, "moving onto a valid line");
+
+    dst = src;
+    src.invalidate();
+    _repl->onInsert(dst);
+
+    ++_stats.movements;
+    const double pj = _topo.wayAccessEnergy(from) +
+                      _topo.wayAccessEnergy(to);
+    chargeEnergy(EnergyCat::Movement, pj);
+    if (_cfg.slipMetadataEnabled)
+        chargeMetadata();  // the 12 b metadata moves with the line
+
+    // The port is blocked for the read and the write of the movement.
+    const Cycles busy = _topo.wayLatency(from) + _topo.wayLatency(to);
+    _stats.portBusyCycles += busy;
+    return _mq.push(busy);
+}
+
+Cycles
+CacheLevel::recordWriteback(unsigned set, unsigned way)
+{
+    CacheLine &ln = lineAt(set, way);
+    slip_assert(ln.valid, "writeback into invalid line");
+    _repl->onHit(ln);
+    ln.dirty = true;
+    chargeEnergy(EnergyCat::Movement, _topo.wayAccessEnergy(way));
+    return _topo.wayLatency(way);
+}
+
+Cycles
+CacheLevel::swapLines(unsigned set, unsigned a, unsigned b)
+{
+    slip_assert(a != b, "swapping a way with itself");
+    CacheLine &la = lineAt(set, a);
+    CacheLine &lb = lineAt(set, b);
+    slip_assert(la.valid && lb.valid, "swapping invalid lines");
+
+    std::swap(la, lb);
+    _repl->onInsert(la);
+    _repl->onInsert(lb);
+
+    _stats.movements += 2;
+    const double pj = 2.0 * (_topo.wayAccessEnergy(a) +
+                             _topo.wayAccessEnergy(b));
+    chargeEnergy(EnergyCat::Movement, pj);
+    if (_cfg.slipMetadataEnabled) {
+        chargeMetadata();
+        chargeMetadata();
+    }
+
+    const Cycles busy =
+        2 * (_topo.wayLatency(a) + _topo.wayLatency(b));
+    _stats.portBusyCycles += busy;
+    Cycles stall = _mq.push(busy / 2);
+    stall += _mq.push(busy / 2);
+    return stall;
+}
+
+Eviction
+CacheLevel::evictLine(unsigned set, unsigned way)
+{
+    CacheLine &ln = lineAt(set, way);
+    slip_assert(ln.valid, "evicting an invalid line");
+
+    Eviction ev;
+    ev.lineAddr = ln.tag;
+    ev.dirty = ln.dirty;
+    ev.policies = ln.policies;
+
+    ++_stats.reuseHistogram[std::min<std::uint32_t>(ln.hitCount, 3)];
+    if (ln.dirty) {
+        ++_stats.writebacks;
+        // Reading the dirty line out for the writeback.
+        chargeEnergy(EnergyCat::Movement, _topo.wayAccessEnergy(way));
+    }
+    ln.invalidate();
+    return ev;
+}
+
+bool
+CacheLevel::invalidate(Addr line, bool *was_dirty)
+{
+    // Invalidations must also probe the movement queue (Section 4.3).
+    if (_cfg.movementQueueEnabled)
+        chargeEnergy(EnergyCat::Other, _mq.lookup());
+    LookupResult res = peek(line);
+    if (!res.hit)
+        return false;
+    CacheLine &ln = lineAt(res.setIndex, res.way);
+    if (was_dirty)
+        *was_dirty = ln.dirty;
+    ++_stats.reuseHistogram[std::min<std::uint32_t>(ln.hitCount, 3)];
+    ln.invalidate();
+    ++_stats.invalidations;
+    return true;
+}
+
+std::uint64_t
+CacheLevel::reuseDistance(std::uint8_t tl) const
+{
+    const std::uint64_t stamped = std::uint64_t(tl) << _tlShift;
+    return (_time + _timeWrap - stamped) % _timeWrap;
+}
+
+std::uint64_t
+CacheLevel::sublevelCumLines(unsigned sl) const
+{
+    slip_assert(sl < kNumSublevels, "sublevel %u out of range", sl);
+    std::uint64_t ways = 0;
+    for (unsigned s = 0; s <= sl; ++s)
+        ways += _topo.sublevelWays(s);
+    return ways * _sets;
+}
+
+unsigned
+CacheLevel::rdBin(std::uint64_t rd) const
+{
+    for (unsigned sl = 0; sl < kNumSublevels; ++sl)
+        if (rd < sublevelCumLines(sl))
+            return sl;
+    return kNumSublevels;
+}
+
+void
+CacheLevel::resetStats()
+{
+    _stats = CacheLevelStats{};
+    _mq.resetStats();
+}
+
+void
+CacheLevel::checkInvariants() const
+{
+    for (unsigned s = 0; s < _sets; ++s) {
+        for (unsigned w = 0; w < _cfg.ways; ++w) {
+            const CacheLine &ln = lineAt(s, w);
+            if (!ln.valid)
+                continue;
+            slip_assert(setIndex(ln.tag) == s,
+                        "line 0x%llx stored in wrong set %u",
+                        static_cast<unsigned long long>(ln.tag), s);
+            // No duplicate tags within a set.
+            for (unsigned w2 = w + 1; w2 < _cfg.ways; ++w2) {
+                const CacheLine &other = lineAt(s, w2);
+                slip_assert(!other.valid || other.tag != ln.tag,
+                            "duplicate line 0x%llx in set %u",
+                            static_cast<unsigned long long>(ln.tag), s);
+            }
+        }
+    }
+}
+
+} // namespace slip

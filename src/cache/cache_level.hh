@@ -1,0 +1,342 @@
+/**
+ * @file
+ * One set-associative cache level with energy-asymmetric ways.
+ *
+ * CacheLevel owns the storage arrays, tag lookup, replacement state,
+ * per-way energy accounting (through CacheTopology), the per-level
+ * access counter T and 6 b line timestamps TL used for online
+ * reuse-distance measurement (Section 4.1), the movement queue, and all
+ * per-level statistics the experiments consume.
+ *
+ * Insertion/movement *policy* lives outside, in a LevelController
+ * (baseline LRU, SLIP, NuRAPID, LRU-PEA); CacheLevel provides the
+ * mechanism primitives those controllers compose: chooseVictim over a
+ * way mask, installLine, moveLine, evictLine.
+ */
+
+#ifndef SLIP_CACHE_CACHE_LEVEL_HH
+#define SLIP_CACHE_CACHE_LEVEL_HH
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cache/line.hh"
+#include "cache/movement_queue.hh"
+#include "cache/replacement.hh"
+#include "energy/topology.hh"
+#include "mem/types.hh"
+#include "util/bitops.hh"
+
+namespace slip {
+
+/** Demand traffic vs. SLIP metadata traffic (Figure 12 split). */
+enum class AccessClass : std::uint8_t { Demand, Metadata };
+
+/** Energy bookkeeping categories (Figure 11 splits access/movement). */
+enum class EnergyCat : std::uint8_t {
+    Access,    ///< data reads serviced from a way on a hit
+    Movement,  ///< inter-sublevel moves + insertions + writeback reads
+    Metadata,  ///< 12 b policy/timestamp accesses
+    Other,     ///< movement-queue lookups, EOU operations
+    NumCats,
+};
+
+/** Classification of insertions by assigned SLIP (Figure 14). */
+enum class InsertClass : std::uint8_t {
+    AllBypass,      ///< the ABP ({})
+    PartialBypass,  ///< bypasses one or more sublevels
+    Default,        ///< single chunk of all sublevels
+    Other,          ///< no bypassing, more than one chunk
+    NumClasses,
+};
+
+/** Static configuration of one cache level. */
+struct CacheLevelConfig
+{
+    std::string name = "L2";
+    std::uint64_t sizeBytes = 256 * 1024;
+    unsigned ways = 16;
+    TopologyKind topology = TopologyKind::HierBusWayInterleaved;
+    LevelEnergyParams energy;
+    std::array<unsigned, kNumSublevels> sublevelWays = {4, 4, 8};
+    unsigned waysPerRow = 4;
+    ReplKind repl = ReplKind::Lru;
+    unsigned timestampBits = 6;
+    double movementQueuePj = 0.3;
+    unsigned movementQueueEntries = 16;
+    /** Baseline caches have no movement queue to probe. */
+    bool movementQueueEnabled = true;
+    /** Charge the 12 b SLIP metadata accesses (SLIP configs only). */
+    bool slipMetadataEnabled = true;
+    std::uint64_t seed = 1;
+};
+
+/** Result of a tag lookup. */
+struct LookupResult
+{
+    bool hit = false;
+    unsigned setIndex = 0;
+    unsigned way = 0;
+};
+
+/** A line leaving the level (for the next level / DRAM). */
+struct Eviction
+{
+    Addr lineAddr = 0;
+    bool dirty = false;
+    PolicyPair policies;
+};
+
+/** Aggregated per-level statistics. */
+struct CacheLevelStats
+{
+    std::uint64_t demandAccesses = 0;
+    std::uint64_t demandHits = 0;
+    std::uint64_t metadataAccesses = 0;
+    std::uint64_t metadataHits = 0;
+
+    std::array<std::uint64_t, kNumSublevels> sublevelHits{};
+
+    std::uint64_t insertions = 0;
+    std::uint64_t bypasses = 0;
+    std::array<std::uint64_t, kNumSublevels> sublevelInsertions{};
+    std::array<std::uint64_t,
+               static_cast<unsigned>(InsertClass::NumClasses)>
+        insertClass{};
+
+    std::uint64_t movements = 0;
+    std::uint64_t writebacks = 0;
+    std::uint64_t invalidations = 0;
+
+    /** Lines evicted with 0 / 1 / 2 / >2 hits (Figure 1). */
+    std::array<std::uint64_t, 4> reuseHistogram{};
+
+    std::array<double, static_cast<unsigned>(EnergyCat::NumCats)>
+        energyPj{};
+
+    Cycles portBusyCycles = 0;
+
+    std::uint64_t demandMisses() const
+    {
+        return demandAccesses - demandHits;
+    }
+    std::uint64_t missesTotal() const
+    {
+        return demandMisses() + (metadataAccesses - metadataHits);
+    }
+    double totalEnergyPj() const
+    {
+        double t = 0.0;
+        for (auto e : energyPj)
+            t += e;
+        return t;
+    }
+};
+
+/** The storage/mechanism model of one cache level. */
+class CacheLevel
+{
+  public:
+    explicit CacheLevel(const CacheLevelConfig &cfg);
+
+    const std::string &name() const { return _cfg.name; }
+    const CacheLevelConfig &config() const { return _cfg; }
+    const CacheTopology &topology() const { return _topo; }
+
+    unsigned numSets() const { return _sets; }
+    unsigned numWays() const { return _cfg.ways; }
+    std::uint64_t numLines() const
+    {
+        return std::uint64_t(_sets) * _cfg.ways;
+    }
+
+    /** Set index of a line address. */
+    unsigned setIndex(Addr line) const
+    {
+        return static_cast<unsigned>(line % _sets);
+    }
+
+    /** Mutable access to a line (controllers and tests). */
+    CacheLine &lineAt(unsigned set, unsigned way)
+    {
+        return _lines[std::size_t(set) * _cfg.ways + way];
+    }
+    const CacheLine &lineAt(unsigned set, unsigned way) const
+    {
+        return _lines[std::size_t(set) * _cfg.ways + way];
+    }
+
+    /** First line of a set (for ReplacementPolicy calls). */
+    CacheLine *setArray(unsigned set)
+    {
+        return &_lines[std::size_t(set) * _cfg.ways];
+    }
+
+    // ------------------------------------------------------------------
+    // Lookup path
+    // ------------------------------------------------------------------
+
+    /**
+     * Probe the tags for @p line. Counts the access, advances the level
+     * timestamp T, and charges the movement-queue lookup. Does NOT
+     * update replacement state or charge data energy — the controller
+     * does that on a hit via recordHit().
+     */
+    LookupResult lookup(Addr line, AccessClass cls);
+
+    /** Tag probe with no side effects (tests, invariants). */
+    LookupResult peek(Addr line) const;
+
+    /**
+     * Account a hit serviced from @p way: replacement touch, hit
+     * counters (incl. per-sublevel), data access energy, metadata
+     * (TL/policy) energy when @p update_metadata.
+     * @return service latency of the way, in cycles
+     */
+    Cycles recordHit(unsigned set, unsigned way, bool is_write,
+                     AccessClass cls, bool update_metadata);
+
+    // ------------------------------------------------------------------
+    // Mechanism primitives for controllers
+    // ------------------------------------------------------------------
+
+    /** Way mask covering sublevels [sl_begin, sl_end). */
+    std::uint32_t sublevelMask(unsigned sl_begin, unsigned sl_end) const;
+
+    /**
+     * Choose a victim way among @p way_mask using the underlying
+     * replacement policy (invalid ways first).
+     * @param prefer_demoted LRU-PEA's priority eviction of demoted lines
+     */
+    unsigned chooseVictim(unsigned set, std::uint32_t way_mask,
+                          bool prefer_demoted = false);
+
+    /**
+     * Install @p line_addr into (set, way), which the controller must
+     * have freed beforehand. Charges the insertion write (Movement
+     * category), metadata copy energy, stamps TL, and classifies the
+     * insertion for Figure 14.
+     */
+    void installLine(unsigned set, unsigned way, Addr line_addr,
+                     bool dirty, PolicyPair policies, InsertClass cls);
+
+    /**
+     * Move the line at (set, from) into (set, to), which must be free.
+     * Charges one read + one write (Movement), a movement-queue entry,
+     * and blocks the port for the read+write latency.
+     * @return stall cycles from movement-queue backpressure
+     */
+    Cycles moveLine(unsigned set, unsigned from, unsigned to);
+
+    /**
+     * Account a writeback arriving from the level above that hit at
+     * (set, way): the line is updated in place. Charged as Movement
+     * (writeback energy, Figure 11) and touches replacement recency
+     * without counting a demand hit for the sublevel-fraction stats.
+     * @return service latency of the way
+     */
+    Cycles recordWriteback(unsigned set, unsigned way);
+
+    /**
+     * Exchange the lines at (set, a) and (set, b) — the promotion
+     * mechanism of NuRAPID/LRU-PEA (promote the hit line, demote the
+     * displaced one). Both ways must hold valid lines. Charges two
+     * reads and two writes (Movement), two movement-queue entries, and
+     * blocks the port accordingly.
+     * @return stall cycles from movement-queue backpressure
+     */
+    Cycles swapLines(unsigned set, unsigned a, unsigned b);
+
+    /**
+     * Remove the line at (set, way) from the level. Charges the
+     * writeback read when dirty and records the reuse histogram.
+     * @return the eviction record for the next level
+     */
+    Eviction evictLine(unsigned set, unsigned way);
+
+    /** All in-flight movements for the current access retired. */
+    void drainMovements() { _mq.drainAll(); }
+
+    /**
+     * Invalidate @p line if present (coherence path). Probes the
+     * movement queue, records stats.
+     * @param was_dirty receives the invalidated copy's dirtiness
+     * @return true when found
+     */
+    bool invalidate(Addr line, bool *was_dirty = nullptr);
+
+    // ------------------------------------------------------------------
+    // Reuse-distance support (Section 4.1)
+    // ------------------------------------------------------------------
+
+    /** Current access count T, already wrapped to [0, 4C). */
+    std::uint64_t timeNow() const { return _time; }
+
+    /** Current 6 b timestamp (the TL value stored on insert/hit). */
+    std::uint8_t tlNow() const
+    {
+        return static_cast<std::uint8_t>((_time >> _tlShift) &
+                                         mask(_cfg.timestampBits));
+    }
+
+    /** Estimated reuse distance (in accesses) of a line stamped @p tl. */
+    std::uint64_t reuseDistance(std::uint8_t tl) const;
+
+    /** Cumulative capacity of sublevels [0, sl] in lines. */
+    std::uint64_t sublevelCumLines(unsigned sl) const;
+
+    /**
+     * Reuse-distance bin of @p rd: bin i when rd fits in the first i+1
+     * sublevels, bin kNumSublevels when it exceeds the level.
+     */
+    unsigned rdBin(std::uint64_t rd) const;
+
+    // ------------------------------------------------------------------
+    // Energy / stats
+    // ------------------------------------------------------------------
+
+    /** Charge @p pj to category @p cat. */
+    void
+    chargeEnergy(EnergyCat cat, double pj)
+    {
+        _stats.energyPj[static_cast<unsigned>(cat)] += pj;
+    }
+
+    /** Charge one 12 b metadata access. */
+    void
+    chargeMetadata()
+    {
+        chargeEnergy(EnergyCat::Metadata, _topo.metadataEnergy());
+    }
+
+    const CacheLevelStats &stats() const { return _stats; }
+    CacheLevelStats &stats() { return _stats; }
+    const MovementQueue &movementQueue() const { return _mq; }
+
+    /** Reset statistics (end of warm-up) without touching contents. */
+    void resetStats();
+
+    /** Invariant check: every valid line's tag maps to its set. */
+    void checkInvariants() const;
+
+  private:
+    CacheLevelConfig _cfg;
+    CacheTopology _topo;
+    unsigned _sets;
+    std::vector<CacheLine> _lines;
+    std::unique_ptr<ReplacementPolicy> _repl;
+    MovementQueue _mq;
+
+    std::uint64_t _time = 0;      ///< per-level access counter T
+    std::uint64_t _timeWrap;      ///< 4C
+    unsigned _tlShift;            ///< MSB extraction shift for TL
+
+    CacheLevelStats _stats;
+};
+
+} // namespace slip
+
+#endif // SLIP_CACHE_CACHE_LEVEL_HH

@@ -1,0 +1,43 @@
+#include "cache/level_controller.hh"
+
+namespace slip {
+
+AccessResult
+LevelController::access(Addr line, bool is_write, const PageCtx &page,
+                        AccessClass cls)
+{
+    AccessResult res;
+    const LookupResult lr = _level.lookup(line, cls);
+    if (!lr.hit)
+        return res;
+
+    res.hit = true;
+    // Measure the reuse distance before the hit refreshes TL
+    // (Section 4.1); only sampled demand accesses contribute.
+    if (page.collectRd && cls == AccessClass::Demand) {
+        const std::uint64_t rd =
+            _level.reuseDistance(_level.lineAt(lr.setIndex, lr.way).tl);
+        res.rdBin = static_cast<int>(_level.rdBin(rd));
+    }
+    res.latency = _level.recordHit(lr.setIndex, lr.way, is_write, cls,
+                                   page.collectRd);
+    return res;
+}
+
+bool
+BaselineController::fill(Addr line, bool dirty, const PageCtx &page,
+                         std::vector<Eviction> &out)
+{
+    (void)page;
+    const unsigned set = _level.setIndex(line);
+    const std::uint32_t all_ways =
+        _level.sublevelMask(0, kNumSublevels);
+    const unsigned way = _level.chooseVictim(set, all_ways);
+    if (_level.lineAt(set, way).valid)
+        out.push_back(_level.evictLine(set, way));
+    _level.installLine(set, way, line, dirty, PolicyPair{},
+                       InsertClass::Default);
+    return true;
+}
+
+} // namespace slip

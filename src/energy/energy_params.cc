@@ -1,0 +1,90 @@
+#include "energy/energy_params.hh"
+
+namespace slip {
+
+TechParams
+tech45nm()
+{
+    TechParams p;
+    p.name = "45nm";
+    p.wirePjPerBitMm = 0.16;
+    p.wireNsPerMm = 0.3;
+
+    // Table 2, L2 (256 KB, 16 way): baseline 39 pJ, sublevels
+    // 21/33/50 pJ, metadata 1 pJ. Table 1: 7 cycles baseline,
+    // sublevels at 4/6/8 cycles.
+    p.l2.baselineAccessPj = 39.0;
+    p.l2.baselineLatency = 7;
+    p.l2.sublevelAccessPj = {21.0, 33.0, 50.0};
+    p.l2.sublevelLatency = {4, 6, 8};
+    p.l2.metadataPj = 1.0;
+
+    // Table 2, L3 (2 MB, 16 way): baseline 136 pJ, sublevels
+    // 67/113/176 pJ, metadata 2.5 pJ. Table 1: 20 cycles baseline,
+    // sublevels at 15/19/23 cycles.
+    p.l3.baselineAccessPj = 136.0;
+    p.l3.baselineLatency = 20;
+    p.l3.sublevelAccessPj = {67.0, 113.0, 176.0};
+    p.l3.sublevelLatency = {15, 19, 23};
+    p.l3.metadataPj = 2.5;
+
+    p.dramPjPerBit = 20.0;
+    p.dramLatency = 100;
+
+    p.movementQueuePj = 0.3;
+    p.eouOpPj = 1.27;
+    p.eouLatency = 2;
+
+    // Full-system study constants (Section 6, Figure 10). Not given in
+    // the paper's tables; chosen to make the L2+L3 share of full-system
+    // dynamic energy consistent with the paper's reported full-system
+    // savings (0.73% / 1.68%) given the cache-level savings.
+    p.l1AccessPj = 12.0;
+    p.corePjPerInstr = 500.0;
+    return p;
+}
+
+TechParams
+tech22nm()
+{
+    // Scaling story (documented in energy_params.hh): bank-internal
+    // energy x0.45 (C*V^2), wire energy/mm x0.8, distances x0.49. The
+    // 45 nm numbers decompose as bank = 6.15 pJ (L2) with the remainder
+    // wire (tests/energy_test.cc validates this decomposition against
+    // the geometry model).
+    TechParams p = tech45nm();
+    p.name = "22nm";
+    p.wirePjPerBitMm = 0.16 * 0.8;
+    p.wireNsPerMm = 0.3;
+
+    const double bank45 = 6.15;
+    const double bank22 = bank45 * 0.45;
+    const double wire_scale = 0.8 * 0.49;
+
+    auto scale_level = [&](LevelEnergyParams &lvl) {
+        double mean = 0.0;
+        for (auto &e : lvl.sublevelAccessPj) {
+            e = bank22 + (e - bank45) * wire_scale;
+            mean += e;
+        }
+        // Baseline = way-weighted mean (4/4/8 ways across sublevels).
+        lvl.baselineAccessPj = (lvl.sublevelAccessPj[0] * 4 +
+                                lvl.sublevelAccessPj[1] * 4 +
+                                lvl.sublevelAccessPj[2] * 8) / 16.0;
+        (void)mean;
+        lvl.metadataPj *= 0.45;
+    };
+    scale_level(p.l2);
+    scale_level(p.l3);
+
+    // DRAM does not scale with the logic node.
+    p.dramPjPerBit = 20.0;
+
+    p.movementQueuePj *= 0.45;
+    p.eouOpPj *= 0.45;
+    p.l1AccessPj *= 0.45;
+    p.corePjPerInstr *= 0.45;
+    return p;
+}
+
+} // namespace slip

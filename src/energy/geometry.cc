@@ -1,0 +1,17 @@
+#include "energy/geometry.hh"
+
+namespace slip {
+
+std::vector<double>
+deriveRowEnergies(const BankArrayGeometry &geom, const WireModel &wire,
+                  double bank_pj, unsigned bits)
+{
+    std::vector<double> energies;
+    energies.reserve(geom.rows());
+    for (unsigned r = 0; r < geom.rows(); ++r)
+        energies.push_back(bank_pj +
+                           wire.transferEnergy(bits, geom.rowDistance(r)));
+    return energies;
+}
+
+} // namespace slip

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Physical bank-array geometry for a cache level.
+ *
+ * The paper models the L2 as a 2 (wide) x 4 (high) array of 32 KB SRAM
+ * banks (each bank holding two complete ways) and the L3 as a 16 x 4
+ * array of 32 KB banks (each row holding four ways). Ways are interleaved
+ * across rows, so rows nearer the cache controller are cheaper to reach.
+ *
+ * BankArrayGeometry captures the array shape and bank dimensions and
+ * computes the average wire distance from the controller (at the bottom
+ * edge, horizontally centred) to each row. Together with WireModel and a
+ * per-bank access energy, it re-derives Table 2's per-sublevel energies;
+ * tests/energy_test.cc checks the derivation against the published
+ * numbers.
+ */
+
+#ifndef SLIP_ENERGY_GEOMETRY_HH
+#define SLIP_ENERGY_GEOMETRY_HH
+
+#include <vector>
+
+#include "energy/wire_model.hh"
+#include "util/logging.hh"
+
+namespace slip {
+
+/** Shape and dimensions of a bank array implementing one cache level. */
+class BankArrayGeometry
+{
+  public:
+    /**
+     * @param cols          banks per row
+     * @param rows          number of rows
+     * @param bank_width_mm physical width of one bank
+     * @param bank_height_mm physical height of one bank
+     * @param edge_offset_mm wiring distance from the controller to the
+     *                       near edge of row 0
+     */
+    BankArrayGeometry(unsigned cols, unsigned rows, double bank_width_mm,
+                      double bank_height_mm, double edge_offset_mm = 0.2)
+        : _cols(cols), _rows(rows), _bankW(bank_width_mm),
+          _bankH(bank_height_mm), _edge(edge_offset_mm),
+          _rowPitch(bank_height_mm)
+    {
+        slip_assert(cols > 0 && rows > 0, "degenerate bank array");
+    }
+
+    /**
+     * Override the effective row-to-row wiring pitch. Wide arrays (the
+     * 16-bank-wide L3 of the Xeon E5 slice) route the inter-row trunk as
+     * a serpentine along each row, so the electrical pitch between rows
+     * is much larger than the bank height. The published L3 sublevel
+     * energies imply an effective pitch of ~2.5 mm.
+     */
+    void setRowPitch(double pitch_mm) { _rowPitch = pitch_mm; }
+    double rowPitch() const { return _rowPitch; }
+
+    unsigned cols() const { return _cols; }
+    unsigned rows() const { return _rows; }
+
+    /** Total array width (mm). */
+    double width() const { return _cols * _bankW; }
+
+    /** Total array height (mm). */
+    double height() const { return _rows * _bankH; }
+
+    /**
+     * Average wire distance (mm) from the controller to a bank in
+     * @p row: vertical run to the row centre plus the mean horizontal
+     * run to a uniformly chosen bank in the row. This models the
+     * hierarchical bus of Figure 4a, where a vertical spine feeds
+     * per-row horizontal buses.
+     */
+    double
+    rowDistance(unsigned row) const
+    {
+        slip_assert(row < _rows, "row %u out of range", row);
+        const double vertical = _edge + 0.5 * _bankH + row * _rowPitch;
+        const double horizontal = meanHorizontal();
+        return vertical + horizontal;
+    }
+
+    /**
+     * Root-to-leaf wire length of an H-tree spanning the same array:
+     * every access traverses half the width plus half the height
+     * regardless of which bank holds the data (Figure 4c).
+     */
+    /**
+     * Effective distance of every access under an H-tree interconnect.
+     * Per Section 2.1, "reading any location consumes the same energy as
+     * reading the furthest location", so this is the distance of the
+     * furthest row.
+     */
+    double htreeDistance() const { return rowDistance(_rows - 1); }
+
+    /** Mean distance over all rows (uniform bank usage). */
+    double
+    meanDistance() const
+    {
+        double sum = 0.0;
+        for (unsigned r = 0; r < _rows; ++r)
+            sum += rowDistance(r);
+        return sum / _rows;
+    }
+
+  private:
+    /** Mean horizontal wire run assuming a centred vertical spine. */
+    double
+    meanHorizontal() const
+    {
+        // Banks are at horizontal offsets (c + 0.5 - cols/2) * bankW
+        // from the spine; the mean |offset| over c = cols/4 * bankW.
+        return width() / 4.0;
+    }
+
+    unsigned _cols;
+    unsigned _rows;
+    double _bankW;
+    double _bankH;
+    double _edge;
+    double _rowPitch;
+};
+
+/**
+ * Derive per-row access energies for a bank array.
+ *
+ * @param geom        physical geometry
+ * @param wire        wire energy model
+ * @param bank_pj     internal (array + sense-amp) energy of one bank access
+ * @param bits        bits moved per access (line data + tag/ctl)
+ * @return            per-row access energy, pJ
+ */
+std::vector<double> deriveRowEnergies(const BankArrayGeometry &geom,
+                                      const WireModel &wire,
+                                      double bank_pj, unsigned bits);
+
+} // namespace slip
+
+#endif // SLIP_ENERGY_GEOMETRY_HH

@@ -1,0 +1,161 @@
+#include "energy/topology.hh"
+
+#include "util/logging.hh"
+
+namespace slip {
+
+const char *
+topologyName(TopologyKind kind)
+{
+    switch (kind) {
+      case TopologyKind::HierBusWayInterleaved:
+        return "hier-bus/way-interleaved";
+      case TopologyKind::HierBusSetInterleaved:
+        return "hier-bus/set-interleaved";
+      case TopologyKind::HTree:
+        return "h-tree";
+      case TopologyKind::RingSlice:
+        return "ring-slice";
+    }
+    return "unknown";
+}
+
+CacheTopology::CacheTopology(TopologyKind kind,
+                             const LevelEnergyParams &params,
+                             unsigned ways,
+                             std::array<unsigned, kNumSublevels>
+                                 sublevel_ways,
+                             unsigned ways_per_row)
+    : _kind(kind), _ways(ways), _slWays(sublevel_ways),
+      _slEnergy(params.sublevelAccessPj),
+      _slLatency(params.sublevelLatency),
+      _metadataPj(params.metadataPj),
+      _baselineLatency(params.baselineLatency)
+{
+    unsigned total = 0;
+    for (auto w : _slWays)
+        total += w;
+    slip_assert(total == _ways, "sublevel ways %u != associativity %u",
+                total, _ways);
+    slip_assert(_ways % ways_per_row == 0,
+                "ways %u not divisible by ways/row %u", _ways,
+                ways_per_row);
+
+    // Map every way to its sublevel (ways are assigned to sublevels in
+    // order of increasing distance, nearest sublevel first).
+    _slOfWay.resize(_ways);
+    unsigned way = 0;
+    for (unsigned sl = 0; sl < kNumSublevels; ++sl)
+        for (unsigned i = 0; i < _slWays[sl]; ++i)
+            _slOfWay[way++] = sl;
+
+    // Way-weighted mean energy over the level (the baseline access
+    // energy and the E_NL constant of Equation 4).
+    _meanEnergy = 0.0;
+    for (unsigned sl = 0; sl < kNumSublevels; ++sl)
+        _meanEnergy += _slEnergy[sl] * _slWays[sl];
+    _meanEnergy /= _ways;
+
+    // Derive per-row energies on a linear wire-distance model through
+    // the published sublevel averages. Rows within a single-row
+    // sublevel take the sublevel energy directly; rows of a multi-row
+    // sublevel are spread around the sublevel mean using the local
+    // energy-per-row pitch so that the mean is preserved exactly.
+    const unsigned rows = _ways / ways_per_row;
+    std::vector<double> row_energy(rows, 0.0);
+    {
+        // Row span of each sublevel.
+        unsigned row0 = 0;
+        std::array<double, kNumSublevels> sl_center{};
+        std::array<unsigned, kNumSublevels> sl_rows{};
+        unsigned r = row0;
+        for (unsigned sl = 0; sl < kNumSublevels; ++sl) {
+            slip_assert(_slWays[sl] % ways_per_row == 0,
+                        "sublevel %u ways not row-aligned", sl);
+            sl_rows[sl] = _slWays[sl] / ways_per_row;
+            sl_center[sl] = r + (sl_rows[sl] - 1) / 2.0;
+            r += sl_rows[sl];
+        }
+        r = 0;
+        for (unsigned sl = 0; sl < kNumSublevels; ++sl) {
+            // Local pitch: energy growth per row, estimated from the
+            // distance between this sublevel's centre and the previous
+            // (or next, for the first) sublevel's centre.
+            double pitch;
+            if (sl > 0) {
+                pitch = (_slEnergy[sl] - _slEnergy[sl - 1]) /
+                        (sl_center[sl] - sl_center[sl - 1]);
+            } else if (kNumSublevels > 1) {
+                pitch = (_slEnergy[1] - _slEnergy[0]) /
+                        (sl_center[1] - sl_center[0]);
+            } else {
+                pitch = 0.0;
+            }
+            for (unsigned i = 0; i < sl_rows[sl]; ++i, ++r)
+                row_energy[r] = _slEnergy[sl] +
+                                (r - sl_center[sl]) * pitch;
+        }
+    }
+
+    const double furthest = row_energy[rows - 1];
+
+    _wayEnergy.resize(_ways);
+    _wayLatency.resize(_ways);
+    for (unsigned w = 0; w < _ways; ++w) {
+        const unsigned row = w / ways_per_row;
+        const unsigned sl = _slOfWay[w];
+        switch (_kind) {
+          case TopologyKind::HierBusWayInterleaved:
+            _wayEnergy[w] = row_energy[row];
+            _wayLatency[w] = _slLatency[sl];
+            break;
+          case TopologyKind::HierBusSetInterleaved:
+            // Every location of a line shares a bank; cost is the mean
+            // over banks and identical across ways.
+            _wayEnergy[w] = _meanEnergy;
+            _wayLatency[w] = _baselineLatency;
+            break;
+          case TopologyKind::HTree:
+            // Uniform energy equal to reaching the furthest row.
+            _wayEnergy[w] = furthest;
+            _wayLatency[w] = _baselineLatency;
+            break;
+          case TopologyKind::RingSlice:
+            // Slice-local asymmetry plus a fixed ring transit (half
+            // the slice's mean cost, a typical 2-3 hop average).
+            _wayEnergy[w] = row_energy[row] + 0.5 * _meanEnergy;
+            _wayLatency[w] = _slLatency[sl] + 2;
+            break;
+        }
+    }
+
+    if (_kind == TopologyKind::HierBusSetInterleaved ||
+        _kind == TopologyKind::HTree) {
+        // Under uniform-energy topologies the sublevel averages (and
+        // thus the EOU's view) collapse to the uniform cost.
+        for (unsigned sl = 0; sl < kNumSublevels; ++sl) {
+            _slEnergy[sl] = _wayEnergy[0];
+            _slLatency[sl] = _baselineLatency;
+        }
+        _meanEnergy = _wayEnergy[0];
+    } else if (_kind == TopologyKind::RingSlice) {
+        // Shift the EOU's sublevel view by the same transit constant.
+        const double transit = 0.5 * _meanEnergy;
+        for (unsigned sl = 0; sl < kNumSublevels; ++sl) {
+            _slEnergy[sl] += transit;
+            _slLatency[sl] += 2;
+        }
+        _meanEnergy += transit;
+    }
+}
+
+unsigned
+CacheTopology::sublevelFirstWay(unsigned sl) const
+{
+    unsigned first = 0;
+    for (unsigned s = 0; s < sl; ++s)
+        first += _slWays[s];
+    return first;
+}
+
+} // namespace slip

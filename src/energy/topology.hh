@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Cache interconnect topology and way-interleaving model (Section 2.1).
+ *
+ * A CacheTopology answers, for every way of a cache level: what does one
+ * line access from that way cost in energy and latency? Three schemes
+ * from Figure 4 are modelled:
+ *
+ *  - HierBusWayInterleaved (Fig. 4a, the baseline of the paper): ways are
+ *    interleaved across bank rows at increasing distance from the
+ *    controller, so ways differ in energy. This is the scheme SLIP
+ *    exploits.
+ *  - HierBusSetInterleaved (Fig. 4b): all ways of a set share a bank, so
+ *    every candidate location of a line costs the same (the mean).
+ *  - HTree (Fig. 4c): every access costs as much as reaching the furthest
+ *    row.
+ *
+ * Way energies are derived from the published per-sublevel energies
+ * (Table 2) by placing rows on a linear wire-distance model; sublevel
+ * averages are preserved exactly, which is what the EOU consumes.
+ */
+
+#ifndef SLIP_ENERGY_TOPOLOGY_HH
+#define SLIP_ENERGY_TOPOLOGY_HH
+
+#include <array>
+#include <vector>
+
+#include "energy/energy_params.hh"
+#include "mem/types.hh"
+
+namespace slip {
+
+/** Interconnect/interleaving scheme of Figure 4 (+ Section 7). */
+enum class TopologyKind {
+    HierBusWayInterleaved,  ///< Fig. 4a — energy-asymmetric ways
+    HierBusSetInterleaved,  ///< Fig. 4b — uniform energy (mean)
+    HTree,                  ///< Fig. 4c — uniform energy (furthest)
+    RingSlice,              ///< §7 — a per-core slice reached over a
+                            ///< ring: a fixed transit cost on top of
+                            ///< Fig. 4a's asymmetric slice-local ways;
+                            ///< SLIP's lever is preserved within the
+                            ///< partition
+};
+
+/** Human-readable topology name. */
+const char *topologyName(TopologyKind kind);
+
+/**
+ * Per-way energy/latency model of one cache level under a chosen
+ * topology and the standard 4/4/8-way sublevel partition.
+ */
+class CacheTopology
+{
+  public:
+    /**
+     * @param kind          interconnect scheme
+     * @param params        published energy/latency numbers for the level
+     * @param ways          cache associativity
+     * @param sublevel_ways ways per sublevel, nearest first
+     * @param ways_per_row  ways sharing one physical bank row
+     */
+    CacheTopology(TopologyKind kind, const LevelEnergyParams &params,
+                  unsigned ways = 16,
+                  std::array<unsigned, kNumSublevels> sublevel_ways =
+                      {4, 4, 8},
+                  unsigned ways_per_row = 4);
+
+    TopologyKind kind() const { return _kind; }
+    unsigned numWays() const { return _ways; }
+    unsigned numSublevels() const { return kNumSublevels; }
+
+    /** Ways in sublevel @p sl. */
+    unsigned sublevelWays(unsigned sl) const { return _slWays.at(sl); }
+
+    /** Sublevel containing way @p way. */
+    unsigned sublevelOf(unsigned way) const { return _slOfWay.at(way); }
+
+    /** First way index of sublevel @p sl. */
+    unsigned sublevelFirstWay(unsigned sl) const;
+
+    /** Energy (pJ) of one line read or write at way @p way. */
+    double wayAccessEnergy(unsigned way) const
+    {
+        return _wayEnergy.at(way);
+    }
+
+    /** Access latency (cycles) of way @p way. */
+    Cycles wayLatency(unsigned way) const { return _wayLatency.at(way); }
+
+    /**
+     * Average access energy of sublevel @p sl — the Ē_i of
+     * Equation 2, consumed by the EOU.
+     */
+    double sublevelEnergy(unsigned sl) const { return _slEnergy.at(sl); }
+
+    /** Sublevel access latency (Table 1). */
+    Cycles sublevelLatency(unsigned sl) const
+    {
+        return _slLatency.at(sl);
+    }
+
+    /**
+     * Way-weighted mean access energy over the whole level — the E_NL
+     * of Equation 4 when this level is "the next level".
+     */
+    double meanAccessEnergy() const { return _meanEnergy; }
+
+    /** Energy of one 12 b metadata (policy+timestamp) access. */
+    double metadataEnergy() const { return _metadataPj; }
+
+    /** Baseline (unpartitioned-cache) access latency. */
+    Cycles baselineLatency() const { return _baselineLatency; }
+
+  private:
+    TopologyKind _kind;
+    unsigned _ways;
+    std::array<unsigned, kNumSublevels> _slWays;
+    std::vector<unsigned> _slOfWay;
+    std::vector<double> _wayEnergy;
+    std::vector<Cycles> _wayLatency;
+    std::array<double, kNumSublevels> _slEnergy;
+    std::array<Cycles, kNumSublevels> _slLatency;
+    double _meanEnergy;
+    double _metadataPj;
+    Cycles _baselineLatency;
+};
+
+} // namespace slip
+
+#endif // SLIP_ENERGY_TOPOLOGY_HH

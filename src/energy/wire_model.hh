@@ -1,0 +1,55 @@
+/**
+ * @file
+ * First-order wire energy and delay model.
+ *
+ * Table 2 of the paper characterises the interconnect as
+ * 0.16 pJ/bit/mm per transition and 0.3 ns/mm at 45 nm. A transfer of B
+ * bits over d mm with switching activity a consumes a*B*0.16*d pJ. The
+ * activity factor is a model parameter (default 0.25, typical for data
+ * buses) chosen so that the derived sublevel energies match Table 2; see
+ * geometry.hh.
+ */
+
+#ifndef SLIP_ENERGY_WIRE_MODEL_HH
+#define SLIP_ENERGY_WIRE_MODEL_HH
+
+namespace slip {
+
+/** Energy/delay of repeated global wires at a given technology node. */
+class WireModel
+{
+  public:
+    /**
+     * @param pj_per_bit_mm energy per transition per bit per mm
+     * @param ns_per_mm     signal propagation delay per mm
+     * @param activity      fraction of bits toggling per transfer
+     */
+    WireModel(double pj_per_bit_mm, double ns_per_mm,
+              double activity = 0.25)
+        : _pjPerBitMm(pj_per_bit_mm), _nsPerMm(ns_per_mm),
+          _activity(activity)
+    {}
+
+    /** Energy (pJ) to move @p bits over @p mm of wire. */
+    double
+    transferEnergy(unsigned bits, double mm) const
+    {
+        return _activity * static_cast<double>(bits) * _pjPerBitMm * mm;
+    }
+
+    /** Propagation delay (ns) across @p mm of wire. */
+    double delay(double mm) const { return _nsPerMm * mm; }
+
+    double pjPerBitMm() const { return _pjPerBitMm; }
+    double nsPerMm() const { return _nsPerMm; }
+    double activity() const { return _activity; }
+
+  private:
+    double _pjPerBitMm;
+    double _nsPerMm;
+    double _activity;
+};
+
+} // namespace slip
+
+#endif // SLIP_ENERGY_WIRE_MODEL_HH

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Access-trace plumbing: a source interface produced by workload
+ * generators and consumed by the hierarchy simulator, plus an in-memory
+ * trace buffer useful for tests and offline analysis.
+ */
+
+#ifndef SLIP_MEM_TRACE_HH
+#define SLIP_MEM_TRACE_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "mem/types.hh"
+
+namespace slip {
+
+/**
+ * A pull-based source of memory accesses. Workload generators implement
+ * this; the system simulator pulls one access per simulated reference.
+ */
+class AccessSource
+{
+  public:
+    virtual ~AccessSource() = default;
+
+    /**
+     * Produce the next access.
+     * @param out receives the access when available
+     * @return false when the source is exhausted
+     */
+    virtual bool next(MemAccess &out) = 0;
+
+    /** Restart the source from the beginning, if supported. */
+    virtual void reset() {}
+};
+
+/** A fixed in-memory trace, replayable any number of times. */
+class TraceBuffer : public AccessSource
+{
+  public:
+    TraceBuffer() = default;
+    explicit TraceBuffer(std::vector<MemAccess> accesses)
+        : _accesses(std::move(accesses))
+    {}
+
+    void append(MemAccess a) { _accesses.push_back(a); }
+    void append(Addr addr, AccessType type) { append({addr, type}); }
+
+    std::size_t size() const { return _accesses.size(); }
+    const MemAccess &at(std::size_t i) const { return _accesses.at(i); }
+
+    bool
+    next(MemAccess &out) override
+    {
+        if (_pos >= _accesses.size())
+            return false;
+        out = _accesses[_pos++];
+        return true;
+    }
+
+    void reset() override { _pos = 0; }
+
+  private:
+    std::vector<MemAccess> _accesses;
+    std::size_t _pos = 0;
+};
+
+/**
+ * Truncates another source after a fixed number of accesses; used to run
+ * equal-length measurement windows across workloads.
+ */
+class LimitedSource : public AccessSource
+{
+  public:
+    LimitedSource(AccessSource &inner, std::size_t limit)
+        : _inner(inner), _limit(limit)
+    {}
+
+    bool
+    next(MemAccess &out) override
+    {
+        if (_taken >= _limit)
+            return false;
+        if (!_inner.next(out))
+            return false;
+        ++_taken;
+        return true;
+    }
+
+    void
+    reset() override
+    {
+        _inner.reset();
+        _taken = 0;
+    }
+
+  private:
+    AccessSource &_inner;
+    std::size_t _limit;
+    std::size_t _taken = 0;
+};
+
+} // namespace slip
+
+#endif // SLIP_MEM_TRACE_HH

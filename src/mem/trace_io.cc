@@ -1,0 +1,133 @@
+#include "mem/trace_io.hh"
+
+#include <cinttypes>
+#include <cstring>
+
+#include "util/logging.hh"
+
+namespace slip {
+
+TraceWriter::TraceWriter(const std::string &path, Format format)
+    : _format(format)
+{
+    _file = std::fopen(path.c_str(), "wb");
+    if (!_file)
+        fatal("cannot open trace '%s' for writing", path.c_str());
+    if (_format == Format::Binary)
+        std::fwrite(kTraceMagic, 1, sizeof(kTraceMagic), _file);
+}
+
+TraceWriter::~TraceWriter()
+{
+    close();
+}
+
+void
+TraceWriter::append(const MemAccess &acc)
+{
+    slip_assert(_file != nullptr, "append to closed trace");
+    if (_format == Format::Binary) {
+        std::uint8_t rec[9];
+        std::memcpy(rec, &acc.addr, 8);
+        rec[8] = static_cast<std::uint8_t>(acc.type);
+        std::fwrite(rec, 1, sizeof(rec), _file);
+    } else {
+        std::fprintf(_file, "%c %" PRIx64 "\n",
+                     acc.isWrite() ? 'W' : 'R', acc.addr);
+    }
+    ++_count;
+}
+
+void
+TraceWriter::close()
+{
+    if (_file) {
+        std::fclose(_file);
+        _file = nullptr;
+    }
+}
+
+FileTraceSource::FileTraceSource(const std::string &path, bool loop)
+    : _loop(loop)
+{
+    _file = std::fopen(path.c_str(), "rb");
+    if (!_file)
+        fatal("cannot open trace '%s'", path.c_str());
+
+    char magic[sizeof(kTraceMagic)] = {};
+    const std::size_t got =
+        std::fread(magic, 1, sizeof(magic), _file);
+    if (got == sizeof(magic) &&
+        std::memcmp(magic, kTraceMagic, sizeof(magic)) == 0) {
+        _binary = true;
+        _dataStart = static_cast<long>(sizeof(magic));
+    } else {
+        _binary = false;
+        _dataStart = 0;
+        std::fseek(_file, 0, SEEK_SET);
+    }
+}
+
+FileTraceSource::~FileTraceSource()
+{
+    if (_file)
+        std::fclose(_file);
+}
+
+bool
+FileTraceSource::readOne(MemAccess &out)
+{
+    if (_binary) {
+        std::uint8_t rec[9];
+        if (std::fread(rec, 1, sizeof(rec), _file) != sizeof(rec))
+            return false;
+        std::memcpy(&out.addr, rec, 8);
+        out.type = rec[8] ? AccessType::Write : AccessType::Read;
+        return true;
+    }
+    char kind = 0;
+    unsigned long long addr = 0;
+    // Skip blank/comment lines.
+    for (;;) {
+        const int n = std::fscanf(_file, " %c %llx", &kind, &addr);
+        if (n == EOF)
+            return false;
+        if (n != 2) {
+            // Malformed line: consume to newline and retry.
+            int c;
+            while ((c = std::fgetc(_file)) != EOF && c != '\n') {}
+            if (c == EOF)
+                return false;
+            continue;
+        }
+        if (kind == '#') {
+            int c;
+            while ((c = std::fgetc(_file)) != EOF && c != '\n') {}
+            continue;
+        }
+        break;
+    }
+    out.addr = addr;
+    out.type = (kind == 'W' || kind == 'w') ? AccessType::Write
+                                            : AccessType::Read;
+    return true;
+}
+
+bool
+FileTraceSource::next(MemAccess &out)
+{
+    if (readOne(out))
+        return true;
+    if (!_loop)
+        return false;
+    reset();
+    return readOne(out);
+}
+
+void
+FileTraceSource::reset()
+{
+    std::fseek(_file, _dataStart, SEEK_SET);
+}
+
+} // namespace slip

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Fundamental memory types: addresses, access records, and the
+ * line/page decompositions used across the hierarchy.
+ */
+
+#ifndef SLIP_MEM_TYPES_HH
+#define SLIP_MEM_TYPES_HH
+
+#include <cstdint>
+
+namespace slip {
+
+/** A byte address in the simulated physical address space. */
+using Addr = std::uint64_t;
+
+/** Simulated time measured in core clock cycles. */
+using Cycles = std::uint64_t;
+
+/** Fixed line and page geometry used throughout the paper. */
+constexpr unsigned kLineSize = 64;          ///< bytes per cache line
+constexpr unsigned kLineBits = 6;           ///< log2(kLineSize)
+constexpr unsigned kPageSize = 4096;        ///< bytes per page (4 KB)
+constexpr unsigned kPageBits = 12;          ///< log2(kPageSize)
+constexpr unsigned kLinesPerPage = kPageSize / kLineSize;
+
+/** Line-granularity address (byte address >> 6). */
+inline Addr lineAddr(Addr byte_addr) { return byte_addr >> kLineBits; }
+
+/** Page-granularity address (byte address >> 12). */
+inline Addr pageAddr(Addr byte_addr) { return byte_addr >> kPageBits; }
+
+/** Page number of a line-granularity address. */
+inline Addr pageOfLine(Addr line) { return line >> (kPageBits - kLineBits); }
+
+/** Kind of memory reference issued by the core. */
+enum class AccessType : std::uint8_t {
+    Read,       ///< demand load
+    Write,      ///< demand store
+};
+
+/** One memory reference from a core. */
+struct MemAccess
+{
+    Addr addr = 0;                       ///< byte address
+    AccessType type = AccessType::Read;  ///< load or store
+
+    bool isWrite() const { return type == AccessType::Write; }
+};
+
+/** Identifier for a hardware context (core) in multiprogrammed runs. */
+using CoreId = std::uint8_t;
+
+} // namespace slip
+
+#endif // SLIP_MEM_TYPES_HH

@@ -1,0 +1,90 @@
+#include "nuca/lru_pea.hh"
+
+#include "util/logging.hh"
+
+namespace slip {
+
+unsigned
+LruPeaController::randomSublevel()
+{
+    const auto &topo = _level.topology();
+    std::uint64_t pick = _rng.below(_level.numWays());
+    for (unsigned sl = 0; sl < kNumSublevels; ++sl) {
+        const unsigned w = topo.sublevelWays(sl);
+        if (pick < w)
+            return sl;
+        pick -= w;
+    }
+    panic("weighted sublevel pick out of range");
+}
+
+AccessResult
+LruPeaController::access(Addr line, bool is_write, const PageCtx &page,
+                         AccessClass cls)
+{
+    AccessResult res = LevelController::access(line, is_write, page, cls);
+    if (!res.hit)
+        return res;
+
+    const LookupResult lr = _level.peek(line);
+    slip_assert(lr.hit, "hit line vanished before promotion");
+    const unsigned sl = _level.topology().sublevelOf(lr.way);
+    if (sl == 0) {
+        _level.lineAt(lr.setIndex, lr.way).demoted = false;
+        return res;
+    }
+
+    // Promote one bankcluster closer; the displaced candidate is
+    // demoted into the promoted line's old way and flagged.
+    const unsigned set = lr.setIndex;
+    const unsigned dest = _level.chooseVictim(
+        set, _level.sublevelMask(sl - 1, sl), /*prefer_demoted=*/true);
+    if (_level.lineAt(set, dest).valid) {
+        _level.swapLines(set, dest, lr.way);
+        _level.lineAt(set, lr.way).demoted = true;   // demoted candidate
+        _level.lineAt(set, dest).demoted = false;    // promoted line
+    } else {
+        _level.moveLine(set, lr.way, dest);
+        _level.lineAt(set, dest).demoted = false;
+    }
+    _level.drainMovements();
+    return res;
+}
+
+bool
+LruPeaController::fill(Addr line, bool dirty, const PageCtx &page,
+                       std::vector<Eviction> &out)
+{
+    (void)page;
+    const unsigned set = _level.setIndex(line);
+    const unsigned sl = randomSublevel();
+    const unsigned way = _level.chooseVictim(
+        set, _level.sublevelMask(sl, sl + 1), /*prefer_demoted=*/true);
+    if (_level.lineAt(set, way).valid)
+        demote(set, way, out, 0);
+    _level.installLine(set, way, line, dirty, PolicyPair{},
+                       InsertClass::Default);
+    _level.drainMovements();
+    return true;
+}
+
+void
+LruPeaController::demote(unsigned set, unsigned way,
+                         std::vector<Eviction> &out, unsigned depth)
+{
+    slip_assert(depth <= kNumSublevels, "demotion cascade too deep");
+    const unsigned sl = _level.topology().sublevelOf(way);
+    if (sl + 1 >= kNumSublevels) {
+        out.push_back(_level.evictLine(set, way));
+        return;
+    }
+    const unsigned dest = _level.chooseVictim(
+        set, _level.sublevelMask(sl + 1, sl + 2),
+        /*prefer_demoted=*/true);
+    if (_level.lineAt(set, dest).valid)
+        demote(set, dest, out, depth + 1);
+    _level.moveLine(set, way, dest);
+    _level.lineAt(set, dest).demoted = true;
+}
+
+} // namespace slip

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * LRU-PEA (Lira et al.) — LRU with Priority Eviction Approach, the
+ * second representative NUCA baseline (Section 5: bankcluster sizes
+ * equal the SLIP sublevel sizes).
+ *
+ * Behaviour modelled:
+ *  - incoming lines are mapped to a random bankcluster (sublevel),
+ *    weighted by cluster size;
+ *  - on a hit outside the nearest cluster the line is promoted one
+ *    cluster closer (swapping with the replacement candidate there,
+ *    which is demoted and flagged);
+ *  - victim selection preferentially evicts demoted lines, based on
+ *    the observation that demoted lines are less likely to be reused;
+ *  - a fill victim is demoted one cluster farther (flagged), cascading
+ *    out of the level from the farthest cluster.
+ */
+
+#ifndef SLIP_NUCA_LRU_PEA_HH
+#define SLIP_NUCA_LRU_PEA_HH
+
+#include "cache/level_controller.hh"
+#include "util/random.hh"
+
+namespace slip {
+
+/** LRU-PEA controller for one cache level. */
+class LruPeaController : public LevelController
+{
+  public:
+    LruPeaController(CacheLevel &level, unsigned level_idx,
+                     std::uint64_t seed = 11)
+        : LevelController(level, level_idx), _rng(seed)
+    {}
+
+    const char *name() const override { return "lru-pea"; }
+
+    AccessResult access(Addr line, bool is_write, const PageCtx &page,
+                        AccessClass cls) override;
+
+    bool fill(Addr line, bool dirty, const PageCtx &page,
+              std::vector<Eviction> &out) override;
+
+  private:
+    /** Random sublevel, weighted by way count. */
+    unsigned randomSublevel();
+
+    /** Demote the line at @p way one sublevel farther, cascading. */
+    void demote(unsigned set, unsigned way, std::vector<Eviction> &out,
+                unsigned depth);
+
+    Random _rng;
+};
+
+} // namespace slip
+
+#endif // SLIP_NUCA_LRU_PEA_HH

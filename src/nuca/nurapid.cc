@@ -1,0 +1,71 @@
+#include "nuca/nurapid.hh"
+
+#include "util/logging.hh"
+
+namespace slip {
+
+AccessResult
+NuRapidController::access(Addr line, bool is_write, const PageCtx &page,
+                          AccessClass cls)
+{
+    AccessResult res = LevelController::access(line, is_write, page, cls);
+    if (!res.hit)
+        return res;
+
+    // Promote the hit line into d-group 0 (energy is charged at the
+    // line's pre-promotion location by recordHit inside the base
+    // implementation; the promotion itself is movement energy).
+    const LookupResult lr = _level.peek(line);
+    slip_assert(lr.hit, "hit line vanished before promotion");
+    const unsigned sl = _level.topology().sublevelOf(lr.way);
+    if (sl == 0)
+        return res;
+
+    const unsigned set = lr.setIndex;
+    const unsigned dest =
+        _level.chooseVictim(set, _level.sublevelMask(0, 1));
+    if (_level.lineAt(set, dest).valid) {
+        // Swap with the d-group-0 replacement candidate: the candidate
+        // is demoted into the promoted line's old way.
+        _level.swapLines(set, dest, lr.way);
+    } else {
+        _level.moveLine(set, lr.way, dest);
+    }
+    _level.drainMovements();
+    return res;
+}
+
+bool
+NuRapidController::fill(Addr line, bool dirty, const PageCtx &page,
+                        std::vector<Eviction> &out)
+{
+    (void)page;
+    const unsigned set = _level.setIndex(line);
+    const unsigned way =
+        _level.chooseVictim(set, _level.sublevelMask(0, 1));
+    if (_level.lineAt(set, way).valid)
+        demote(set, way, out, 0);
+    _level.installLine(set, way, line, dirty, PolicyPair{},
+                       InsertClass::Default);
+    _level.drainMovements();
+    return true;
+}
+
+void
+NuRapidController::demote(unsigned set, unsigned way,
+                          std::vector<Eviction> &out, unsigned depth)
+{
+    slip_assert(depth <= kNumSublevels, "demotion cascade too deep");
+    const unsigned sl = _level.topology().sublevelOf(way);
+    if (sl + 1 >= kNumSublevels) {
+        out.push_back(_level.evictLine(set, way));
+        return;
+    }
+    const unsigned dest =
+        _level.chooseVictim(set, _level.sublevelMask(sl + 1, sl + 2));
+    if (_level.lineAt(set, dest).valid)
+        demote(set, dest, out, depth + 1);
+    _level.moveLine(set, way, dest);
+}
+
+} // namespace slip

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * NuRAPID (Chishti et al., MICRO 2003) — distance-associative NUCA,
+ * one of the two representative latency-oriented baselines the paper
+ * compares against (Section 5: d-group sizes equal the SLIP sublevel
+ * sizes).
+ *
+ * Behaviour modelled:
+ *  - fills are placed in the nearest d-group (d-group 0);
+ *  - on a hit outside d-group 0 the line is promoted to d-group 0,
+ *    swapping with the replacement candidate there (demotion);
+ *  - a fill's victim in d-group 0 is demoted to the next d-group,
+ *    cascading; lines demoted out of the last d-group leave the level.
+ *
+ * The aggressive promotion is what gives NuRAPID its latency benefit
+ * and its large movement-energy cost (Figures 11 and 15).
+ */
+
+#ifndef SLIP_NUCA_NURAPID_HH
+#define SLIP_NUCA_NURAPID_HH
+
+#include "cache/level_controller.hh"
+
+namespace slip {
+
+/** NuRAPID controller for one cache level. */
+class NuRapidController : public LevelController
+{
+  public:
+    using LevelController::LevelController;
+
+    const char *name() const override { return "nurapid"; }
+
+    AccessResult access(Addr line, bool is_write, const PageCtx &page,
+                        AccessClass cls) override;
+
+    bool fill(Addr line, bool dirty, const PageCtx &page,
+              std::vector<Eviction> &out) override;
+
+  private:
+    /** Demote the line at @p way one d-group farther, cascading. */
+    void demote(unsigned set, unsigned way, std::vector<Eviction> &out,
+                unsigned depth);
+};
+
+} // namespace slip
+
+#endif // SLIP_NUCA_NURAPID_HH

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Per-page reuse-distance metadata resident in DRAM (Section 4.1).
+ *
+ * Each page owns 32 b of distribution metadata (16 b for the L2, 16 b
+ * for the L3). Sixteen pages' records share one 64 B cache line in a
+ * reserved physical region, so distribution fetches and writebacks
+ * travel through the cache hierarchy like ordinary lines — this is what
+ * produces the metadata traffic measured in Figure 12 and motivates
+ * time-based sampling (Section 4.2).
+ */
+
+#ifndef SLIP_RD_METADATA_STORE_HH
+#define SLIP_RD_METADATA_STORE_HH
+
+#include <unordered_map>
+
+#include "mem/types.hh"
+#include "rd/rd_distribution.hh"
+
+namespace slip {
+
+/** The two per-page distributions (index with kSlipL2/kSlipL3). */
+struct PageMetadata
+{
+    RdDistribution dist[2];
+
+    explicit PageMetadata(unsigned bin_bits = 4)
+        : dist{RdDistribution(bin_bits), RdDistribution(bin_bits)}
+    {}
+};
+
+/** Canonical backing store for every page's distribution metadata. */
+class MetadataStore
+{
+  public:
+    /**
+     * @param bin_bits counter width (4 in the evaluation)
+     * @param region_base line address of the reserved metadata region;
+     *        must not collide with workload or PTE addresses
+     */
+    explicit MetadataStore(unsigned bin_bits = 4,
+                           Addr region_base_line = Addr{1} << 44)
+        : _binBits(bin_bits), _base(region_base_line)
+    {}
+
+    /** Metadata record of @p page (created zeroed on first touch). */
+    PageMetadata &
+    page(Addr page_num)
+    {
+        auto it = _pages.find(page_num);
+        if (it == _pages.end())
+            it = _pages.emplace(page_num, PageMetadata(_binBits)).first;
+        return it->second;
+    }
+
+    /**
+     * Line address (line granularity) of the 64 B metadata line that
+     * holds @p page_num's 32 b record; 16 records per line.
+     */
+    Addr
+    metadataLine(Addr page_num) const
+    {
+        return _base + page_num / 16;
+    }
+
+    /** Bits per page record at the current width. */
+    unsigned
+    recordBits() const
+    {
+        return 2 * _binBits * kRdBins;
+    }
+
+    unsigned binBits() const { return _binBits; }
+    std::size_t pagesTracked() const { return _pages.size(); }
+
+  private:
+    unsigned _binBits;
+    Addr _base;
+    std::unordered_map<Addr, PageMetadata> _pages;
+};
+
+} // namespace slip
+
+#endif // SLIP_RD_METADATA_STORE_HH

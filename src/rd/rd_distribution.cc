@@ -1,0 +1,30 @@
+#include "rd/rd_distribution.hh"
+
+#include "util/logging.hh"
+
+namespace slip {
+
+std::uint16_t
+RdDistribution::pack() const
+{
+    slip_assert(_binBits == 4 && kRdBins == 4,
+                "packing requires the 4 b x 4 bin format");
+    std::uint16_t word = 0;
+    for (unsigned i = 0; i < kRdBins; ++i)
+        word |= static_cast<std::uint16_t>(_counters.count(i) & 0xF)
+                << (4 * i);
+    return word;
+}
+
+void
+RdDistribution::unpack(std::uint16_t word)
+{
+    slip_assert(_binBits == 4 && kRdBins == 4,
+                "unpacking requires the 4 b x 4 bin format");
+    std::array<std::uint8_t, kRdBins> values;
+    for (unsigned i = 0; i < kRdBins; ++i)
+        values[i] = (word >> (4 * i)) & 0xF;
+    _counters.load(values);
+}
+
+} // namespace slip

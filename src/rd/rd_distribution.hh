@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Quantized reuse-distance distributions (Section 4.1).
+ *
+ * For a level split into K sublevels, K+1 bin counters are stored: one
+ * per capacity-aligned reuse-distance range plus a final bin counting
+ * references whose reuse distance exceeds the level (misses). Each
+ * counter is a low-precision integer (4 bits in the evaluation; the
+ * width is a parameter so the bit-width sensitivity study can sweep
+ * it), and all counters are halved when any would overflow, ageing the
+ * statistics toward recent behaviour.
+ *
+ * A 4-bit x 4-bin distribution packs into 16 bits; one distribution per
+ * level gives the paper's 32 b of per-page DRAM metadata.
+ */
+
+#ifndef SLIP_RD_RD_DISTRIBUTION_HH
+#define SLIP_RD_RD_DISTRIBUTION_HH
+
+#include <cstdint>
+
+#include "energy/energy_params.hh"
+#include "util/saturating.hh"
+
+namespace slip {
+
+/** Number of reuse-distance bins per level (K sublevels + miss bin). */
+constexpr unsigned kRdBins = kNumSublevels + 1;
+
+/** One level's quantized reuse-distance distribution for a page. */
+class RdDistribution
+{
+  public:
+    explicit RdDistribution(unsigned bin_bits = 4)
+        : _counters(bin_bits), _binBits(bin_bits)
+    {}
+
+    /** Change the bin width and clear (bit-width study). */
+    void
+    setBinBits(unsigned bits)
+    {
+        _binBits = bits;
+        _counters.setWidth(bits);
+    }
+
+    unsigned binBits() const { return _binBits; }
+
+    /** Record one reference landing in @p bin. */
+    void record(unsigned bin) { _counters.increment(bin); }
+
+    /** Raw bin counters (the EOU input). */
+    const std::uint8_t *bins() const { return _counters.raw().data(); }
+
+    std::uint8_t bin(unsigned i) const { return _counters.count(i); }
+    std::uint32_t total() const { return _counters.total(); }
+    void clear() { _counters.clear(); }
+
+    /**
+     * Pack into a 16 b word (only meaningful at 4 b/bin, the storage
+     * format of the paper).
+     */
+    std::uint16_t pack() const;
+
+    /** Unpack from a 16 b word (4 b/bin). */
+    void unpack(std::uint16_t word);
+
+    /** Bits consumed in DRAM at the current width. */
+    unsigned storageBits() const { return _binBits * kRdBins; }
+
+  private:
+    SatCounterArray<kRdBins> _counters;
+    unsigned _binBits;
+};
+
+} // namespace slip
+
+#endif // SLIP_RD_RD_DISTRIBUTION_HH

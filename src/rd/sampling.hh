@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Time-based sampling of page reuse behaviour (Section 4.2).
+ *
+ * A page is either *sampling* (distribution collected, lines inserted
+ * with the Default SLIP) or *stable* (stored SLIP applied, no
+ * distribution traffic). On every TLB miss the page's state makes a
+ * random transition: sampling -> stable with probability 1/Nsamp and
+ * stable -> sampling with probability 1/Nstab. With the paper's
+ * Nsamp = 16 and Nstab = 256, about 6% of TLB misses fetch
+ * distribution metadata, bounding the metadata traffic while still
+ * adapting to phase changes (e.g. mcf).
+ */
+
+#ifndef SLIP_RD_SAMPLING_HH
+#define SLIP_RD_SAMPLING_HH
+
+#include "util/random.hh"
+
+namespace slip {
+
+/** The page-state transition machine consulted on each TLB miss. */
+class SamplingController
+{
+  public:
+    /**
+     * @param enabled  when false, pages never leave the sampling state
+     *                 (the no-sampling ablation of Section 4.1)
+     */
+    SamplingController(unsigned nsamp = 16, unsigned nstab = 256,
+                       bool enabled = true, std::uint64_t seed = 23)
+        : _nsamp(nsamp), _nstab(nstab), _enabled(enabled), _rng(seed)
+    {}
+
+    bool enabled() const { return _enabled; }
+    unsigned nsamp() const { return _nsamp; }
+    unsigned nstab() const { return _nstab; }
+
+    /**
+     * Roll the state transition for a page currently in state
+     * @p sampling. @return the new state (true = sampling).
+     */
+    bool
+    transition(bool sampling)
+    {
+        if (!_enabled)
+            return true;
+        if (sampling) {
+            ++_fromSampling;
+            if (_rng.oneIn(_nsamp)) {
+                ++_toStable;
+                return false;
+            }
+            return true;
+        }
+        ++_fromStable;
+        if (_rng.oneIn(_nstab)) {
+            ++_toSampling;
+            return true;
+        }
+        return false;
+    }
+
+    /** Expected fraction of TLB misses in the sampling state. */
+    double
+    expectedSamplingFraction() const
+    {
+        if (!_enabled)
+            return 1.0;
+        return static_cast<double>(_nsamp) /
+               static_cast<double>(_nsamp + _nstab);
+    }
+
+    std::uint64_t transitionsToStable() const { return _toStable; }
+    std::uint64_t transitionsToSampling() const { return _toSampling; }
+
+  private:
+    unsigned _nsamp;
+    unsigned _nstab;
+    bool _enabled;
+    Random _rng;
+
+    std::uint64_t _fromSampling = 0;
+    std::uint64_t _fromStable = 0;
+    std::uint64_t _toStable = 0;
+    std::uint64_t _toSampling = 0;
+};
+
+} // namespace slip
+
+#endif // SLIP_RD_SAMPLING_HH

@@ -1,0 +1,239 @@
+/**
+ * @file
+ * slip-sim: command-line driver for the simulator.
+ *
+ * Runs one workload (a named SPEC-like benchmark or a trace file)
+ * under one policy and dumps the full statistics, so the simulator is
+ * usable without writing any C++.
+ *
+ *   slip-sim --bench soplex --policy slip+abp --refs 2000000
+ *   slip-sim --trace capture.trc --policy baseline --stats out.txt
+ *   slip-sim --list
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "mem/trace_io.hh"
+#include "sim/stats_dump.hh"
+#include "sim/system.hh"
+#include "workloads/spec_suite.hh"
+
+using namespace slip;
+
+namespace {
+
+void
+usage()
+{
+    std::puts(
+        "slip-sim — SLIP cache-hierarchy simulator (ISCA 2015)\n"
+        "\n"
+        "  --bench NAME        workload from the SPEC-like suite\n"
+        "  --trace FILE        drive from a trace file instead\n"
+        "  --loop-trace        loop the trace when exhausted\n"
+        "  --policy P          baseline | nurapid | lru-pea | slip |\n"
+        "                      slip+abp           (default baseline)\n"
+        "  --refs N            measured references (default 2000000)\n"
+        "  --warmup N          warm-up references (default = refs)\n"
+        "  --cores N           cores (same workload, offset address\n"
+        "                      spaces; default 1)\n"
+        "  --tech T            45nm | 22nm       (default 45nm)\n"
+        "  --topology T        way | set | htree (default way)\n"
+        "  --repl R            lru | rrip | random\n"
+        "  --rd-bits N         distribution counter width (default 4)\n"
+        "  --rd-block-pages N  pages per rd-block (default 1)\n"
+        "  --always-sample     disable time-based sampling (Section\n"
+        "                      4.1's always-fetch design)\n"
+        "  --inclusive-l3      inclusive LLC (disables ABP at L3)\n"
+        "  --no-insertion-term strict Equations 1-4 EOU coefficients\n"
+        "  --seed N            simulation seed\n"
+        "  --stats FILE        write the stats dump to FILE\n"
+        "  --dump-trace FILE   also record the reference stream to a\n"
+        "                      binary trace (replayable via --trace)\n"
+        "  --list              list available benchmarks\n");
+}
+
+bool
+parsePolicy(const std::string &v, PolicyKind &out)
+{
+    if (v == "baseline")
+        out = PolicyKind::Baseline;
+    else if (v == "nurapid")
+        out = PolicyKind::NuRapid;
+    else if (v == "lru-pea" || v == "lrupea")
+        out = PolicyKind::LruPea;
+    else if (v == "slip")
+        out = PolicyKind::Slip;
+    else if (v == "slip+abp" || v == "slip-abp")
+        out = PolicyKind::SlipAbp;
+    else
+        return false;
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string benchn, trace_path, stats_path, dump_path;
+    bool loop_trace = false;
+    std::uint64_t refs = 2'000'000;
+    std::uint64_t warmup = ~0ull;
+    SystemConfig cfg;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&]() -> std::string {
+            if (i + 1 >= argc)
+                fatal("missing value for %s", arg.c_str());
+            return argv[++i];
+        };
+        if (arg == "--help" || arg == "-h") {
+            usage();
+            return 0;
+        } else if (arg == "--list") {
+            for (const auto &n : specBenchmarks())
+                std::puts(n.c_str());
+            return 0;
+        } else if (arg == "--bench") {
+            benchn = value();
+        } else if (arg == "--trace") {
+            trace_path = value();
+        } else if (arg == "--loop-trace") {
+            loop_trace = true;
+        } else if (arg == "--policy") {
+            if (!parsePolicy(value(), cfg.policy))
+                fatal("unknown policy (see --help)");
+        } else if (arg == "--refs") {
+            refs = std::strtoull(value().c_str(), nullptr, 0);
+        } else if (arg == "--warmup") {
+            warmup = std::strtoull(value().c_str(), nullptr, 0);
+        } else if (arg == "--cores") {
+            cfg.numCores =
+                unsigned(std::strtoul(value().c_str(), nullptr, 0));
+        } else if (arg == "--tech") {
+            const std::string t = value();
+            if (t == "45nm")
+                cfg.tech = tech45nm();
+            else if (t == "22nm")
+                cfg.tech = tech22nm();
+            else
+                fatal("unknown tech node '%s'", t.c_str());
+        } else if (arg == "--topology") {
+            const std::string t = value();
+            if (t == "way")
+                cfg.topology = TopologyKind::HierBusWayInterleaved;
+            else if (t == "set")
+                cfg.topology = TopologyKind::HierBusSetInterleaved;
+            else if (t == "htree")
+                cfg.topology = TopologyKind::HTree;
+            else
+                fatal("unknown topology '%s'", t.c_str());
+        } else if (arg == "--repl") {
+            const std::string r = value();
+            if (r == "lru")
+                cfg.repl = ReplKind::Lru;
+            else if (r == "rrip") {
+                cfg.repl = ReplKind::Rrip;
+                cfg.randomSublevelVictim = true;
+            } else if (r == "random")
+                cfg.repl = ReplKind::Random;
+            else
+                fatal("unknown replacement '%s'", r.c_str());
+        } else if (arg == "--rd-bits") {
+            cfg.rdBinBits =
+                unsigned(std::strtoul(value().c_str(), nullptr, 0));
+        } else if (arg == "--rd-block-pages") {
+            cfg.rdBlockPages =
+                unsigned(std::strtoul(value().c_str(), nullptr, 0));
+        } else if (arg == "--always-sample") {
+            cfg.samplingMode = SamplingMode::Always;
+        } else if (arg == "--inclusive-l3") {
+            cfg.inclusiveL3 = true;
+        } else if (arg == "--no-insertion-term") {
+            cfg.eouIncludeInsertion = false;
+        } else if (arg == "--seed") {
+            cfg.seed = std::strtoull(value().c_str(), nullptr, 0);
+        } else if (arg == "--stats") {
+            stats_path = value();
+        } else if (arg == "--dump-trace") {
+            dump_path = value();
+        } else {
+            std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+            usage();
+            return 1;
+        }
+    }
+
+    if (benchn.empty() && trace_path.empty())
+        fatal("need --bench or --trace (see --help)");
+    if (warmup == ~0ull)
+        warmup = refs;
+
+    System sys(cfg);
+
+    // One source per core.
+    std::vector<std::unique_ptr<AccessSource>> owned;
+    std::vector<AccessSource *> sources;
+    for (unsigned c = 0; c < cfg.numCores; ++c) {
+        if (!trace_path.empty())
+            owned.push_back(std::make_unique<FileTraceSource>(
+                trace_path, loop_trace));
+        else
+            owned.push_back(makeMixSource(benchn, c, cfg.seed));
+        sources.push_back(owned.back().get());
+    }
+
+    // Optionally tee core 0's stream into a replayable trace file.
+    class TeeSource : public AccessSource
+    {
+      public:
+        TeeSource(AccessSource &inner, TraceWriter &writer)
+            : _inner(inner), _writer(writer)
+        {}
+        bool
+        next(MemAccess &out) override
+        {
+            if (!_inner.next(out))
+                return false;
+            _writer.append(out);
+            return true;
+        }
+        void reset() override { _inner.reset(); }
+
+      private:
+        AccessSource &_inner;
+        TraceWriter &_writer;
+    };
+    std::unique_ptr<TraceWriter> dump_writer;
+    std::unique_ptr<TeeSource> tee;
+    if (!dump_path.empty()) {
+        dump_writer = std::make_unique<TraceWriter>(dump_path);
+        tee = std::make_unique<TeeSource>(*sources[0], *dump_writer);
+        sources[0] = tee.get();
+    }
+
+    inform("running %s / %s: %llu refs after %llu warm-up on %u "
+           "core(s)",
+           trace_path.empty() ? benchn.c_str() : trace_path.c_str(),
+           policyName(cfg.policy),
+           static_cast<unsigned long long>(refs),
+           static_cast<unsigned long long>(warmup), cfg.numCores);
+    sys.run(sources, refs, warmup);
+
+    if (!stats_path.empty()) {
+        std::ofstream os(stats_path);
+        if (!os)
+            fatal("cannot write stats to '%s'", stats_path.c_str());
+        dumpStats(sys, os);
+        inform("stats written to %s", stats_path.c_str());
+    } else {
+        dumpStats(sys, std::cout);
+    }
+    return 0;
+}

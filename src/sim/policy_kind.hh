@@ -1,0 +1,48 @@
+/**
+ * @file
+ * The five cache-management configurations evaluated in the paper.
+ */
+
+#ifndef SLIP_SIM_POLICY_KIND_HH
+#define SLIP_SIM_POLICY_KIND_HH
+
+namespace slip {
+
+/** Which insertion/movement policy manages the L2 and L3. */
+enum class PolicyKind {
+    Baseline,  ///< regular LRU cache hierarchy
+    NuRapid,   ///< NuRAPID distance-associative NUCA
+    LruPea,    ///< LRU with Priority Eviction Approach
+    Slip,      ///< SLIP without the all-bypass policy
+    SlipAbp,   ///< SLIP with ABP in the candidate pool
+};
+
+/** Short display name. */
+inline const char *
+policyName(PolicyKind kind)
+{
+    switch (kind) {
+      case PolicyKind::Baseline:
+        return "Baseline";
+      case PolicyKind::NuRapid:
+        return "NuRAPID";
+      case PolicyKind::LruPea:
+        return "LRU-PEA";
+      case PolicyKind::Slip:
+        return "SLIP";
+      case PolicyKind::SlipAbp:
+        return "SLIP+ABP";
+    }
+    return "?";
+}
+
+/** True for the two SLIP configurations. */
+inline bool
+isSlipPolicy(PolicyKind kind)
+{
+    return kind == PolicyKind::Slip || kind == PolicyKind::SlipAbp;
+}
+
+} // namespace slip
+
+#endif // SLIP_SIM_POLICY_KIND_HH

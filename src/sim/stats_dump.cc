@@ -1,0 +1,108 @@
+#include "sim/stats_dump.hh"
+
+#include <iomanip>
+
+namespace slip {
+
+namespace {
+
+const char *kEnergyCatNames[] = {"access", "movement", "metadata",
+                                 "other"};
+const char *kInsertClassNames[] = {"abp", "partial_bypass", "default",
+                                   "other"};
+
+} // namespace
+
+void
+dumpLevelStats(const std::string &prefix, const CacheLevelStats &s,
+               std::ostream &os)
+{
+    auto line = [&](const std::string &name, auto value) {
+        os << prefix << "." << name << " " << value << "\n";
+    };
+    line("demand_accesses", s.demandAccesses);
+    line("demand_hits", s.demandHits);
+    line("demand_misses", s.demandMisses());
+    if (s.demandAccesses)
+        line("hit_rate",
+             double(s.demandHits) / double(s.demandAccesses));
+    line("metadata_accesses", s.metadataAccesses);
+    line("metadata_hits", s.metadataHits);
+    line("insertions", s.insertions);
+    line("bypasses", s.bypasses);
+    for (unsigned i = 0; i < kNumSublevels; ++i) {
+        line("sublevel" + std::to_string(i) + ".hits",
+             s.sublevelHits[i]);
+        line("sublevel" + std::to_string(i) + ".insertions",
+             s.sublevelInsertions[i]);
+    }
+    for (unsigned i = 0; i < s.insertClass.size(); ++i)
+        line(std::string("insert_class.") + kInsertClassNames[i],
+             s.insertClass[i]);
+    line("movements", s.movements);
+    line("writebacks", s.writebacks);
+    line("invalidations", s.invalidations);
+    for (unsigned i = 0; i < 4; ++i)
+        line("reuse_histogram.nr" + std::to_string(i),
+             s.reuseHistogram[i]);
+    for (unsigned i = 0; i < s.energyPj.size(); ++i)
+        line(std::string("energy_pj.") + kEnergyCatNames[i],
+             s.energyPj[i]);
+    line("energy_pj.total", s.totalEnergyPj());
+    line("port_busy_cycles", s.portBusyCycles);
+}
+
+void
+dumpStats(System &sys, std::ostream &os)
+{
+    os << std::setprecision(12);
+    os << "# slip-sim statistics dump\n";
+    os << "system.policy " << policyName(sys.config().policy) << "\n";
+    os << "system.cores " << sys.numCores() << "\n";
+    os << "system.instructions " << sys.instructions() << "\n";
+    os << "system.cycles " << sys.totalCycles() << "\n";
+    if (sys.totalCycles() > 0)
+        os << "system.ipc "
+           << sys.instructions() / sys.totalCycles() << "\n";
+    os << "system.full_system_energy_pj " << sys.fullSystemEnergyPj()
+       << "\n";
+
+    for (unsigned c = 0; c < sys.numCores(); ++c) {
+        const std::string core = "core" + std::to_string(c);
+        const CoreStats &cs = sys.coreStats(c);
+        os << core << ".accesses " << cs.accesses << "\n";
+        os << core << ".l1_hits " << cs.l1Hits << "\n";
+        os << core << ".mem_stall_cycles " << cs.memStallCycles << "\n";
+        os << core << ".tlb.accesses " << sys.tlb(c).accesses() << "\n";
+        os << core << ".tlb.misses " << sys.tlb(c).misses() << "\n";
+        os << core << ".tlb.flushes " << sys.tlb(c).flushes() << "\n";
+        dumpLevelStats(core + ".l1", sys.l1(c).stats(), os);
+        dumpLevelStats(core + ".l2", sys.l2(c).stats(), os);
+    }
+    dumpLevelStats("l3", sys.l3().stats(), os);
+
+    os << "dram.reads " << sys.dram().reads() << "\n";
+    os << "dram.writes " << sys.dram().writes() << "\n";
+    os << "dram.metadata_accesses " << sys.dram().metadataAccesses()
+       << "\n";
+    os << "dram.metadata_bits " << sys.dram().metadataBits() << "\n";
+    os << "dram.traffic_lines " << sys.dram().totalTrafficLines()
+       << "\n";
+    os << "dram.energy_pj " << sys.dram().energyPj() << "\n";
+
+    os << "eou.operations " << sys.eouOperations() << "\n";
+    if (sys.eouL2()) {
+        for (std::size_t code = 0;
+             code < sys.eouL2()->choiceCounts().size(); ++code) {
+            os << "eou.l2.choice" << code << " "
+               << sys.eouL2()->choiceCounts()[code] << "\n";
+            os << "eou.l3.choice" << code << " "
+               << sys.eouL3()->choiceCounts()[code] << "\n";
+        }
+    }
+    os << "pagetable.pages " << sys.pageTable().pagesTouched() << "\n";
+    os << "metadata.pages " << sys.metadataStore().pagesTracked()
+       << "\n";
+}
+
+} // namespace slip

@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Human/machine-readable statistics dump for a System, in the style of
+ * gem5's stats.txt: one "component.stat value" line per statistic.
+ * Used by the slip-sim CLI driver and handy for diffing runs.
+ */
+
+#ifndef SLIP_SIM_STATS_DUMP_HH
+#define SLIP_SIM_STATS_DUMP_HH
+
+#include <ostream>
+#include <string>
+
+#include "sim/system.hh"
+
+namespace slip {
+
+/** Write every statistic of @p sys to @p os. */
+void dumpStats(System &sys, std::ostream &os);
+
+/** One cache level's stats under a component prefix. */
+void dumpLevelStats(const std::string &prefix, const CacheLevelStats &s,
+                    std::ostream &os);
+
+} // namespace slip
+
+#endif // SLIP_SIM_STATS_DUMP_HH

@@ -1,0 +1,619 @@
+#include "sim/system.hh"
+
+#include <algorithm>
+
+#include "nuca/lru_pea.hh"
+#include "nuca/nurapid.hh"
+#include "slip/slip_controller.hh"
+#include "util/logging.hh"
+
+namespace slip {
+
+SystemConfig::SystemConfig() : tech(tech45nm()) {}
+
+namespace {
+
+/** Uniform energy/latency parameter block for the L1. */
+LevelEnergyParams
+l1Params(const SystemConfig &cfg)
+{
+    LevelEnergyParams p;
+    p.baselineAccessPj = cfg.tech.l1AccessPj;
+    p.baselineLatency = cfg.l1Latency;
+    p.sublevelAccessPj = {cfg.tech.l1AccessPj, cfg.tech.l1AccessPj,
+                          cfg.tech.l1AccessPj};
+    p.sublevelLatency = {cfg.l1Latency, cfg.l1Latency, cfg.l1Latency};
+    p.metadataPj = 0.0;
+    return p;
+}
+
+/** Default SLIP codes for unseen pages. */
+PolicyPair
+defaultPolicies()
+{
+    PolicyPair p;
+    p.code[kSlipL2] = SlipPolicy::defaultCode(kNumSublevels);
+    p.code[kSlipL3] = SlipPolicy::defaultCode(kNumSublevels);
+    return p;
+}
+
+} // namespace
+
+System::System(const SystemConfig &cfg)
+    : _cfg(cfg), _dram(cfg.tech), _pageTable(defaultPolicies()),
+      _metadata(cfg.rdBinBits),
+      _sampling(cfg.nsamp, cfg.nstab,
+                cfg.samplingMode == SamplingMode::TimeBased,
+                cfg.seed * 977 + 13)
+{
+    slip_assert(cfg.numCores >= 1, "at least one core required");
+
+    // Shared L3.
+    CacheLevelConfig l3cfg;
+    l3cfg.name = "L3";
+    l3cfg.sizeBytes = cfg.l3Size;
+    l3cfg.ways = cfg.l3Ways;
+    l3cfg.topology = cfg.topology;
+    l3cfg.energy = cfg.tech.l3;
+    l3cfg.repl = cfg.repl;
+    l3cfg.movementQueueEnabled = cfg.policy != PolicyKind::Baseline;
+    l3cfg.slipMetadataEnabled = isSlipPolicy(cfg.policy);
+    l3cfg.movementQueuePj = cfg.tech.movementQueuePj;
+    l3cfg.seed = cfg.seed * 31 + 7;
+    _l3 = std::make_unique<CacheLevel>(l3cfg);
+    _l3ctrl = makeController(*_l3, kSlipL3);
+
+    // Per-core private L1 + L2.
+    for (unsigned c = 0; c < cfg.numCores; ++c) {
+        auto core = std::make_unique<Core>(cfg.tlbEntries);
+
+        CacheLevelConfig l1cfg;
+        l1cfg.name = "L1." + std::to_string(c);
+        l1cfg.sizeBytes = cfg.l1Size;
+        l1cfg.ways = cfg.l1Ways;
+        l1cfg.topology = TopologyKind::HierBusSetInterleaved;
+        l1cfg.energy = l1Params(cfg);
+        l1cfg.sublevelWays = {2, 2, 4};
+        l1cfg.waysPerRow = 2;
+        l1cfg.repl = ReplKind::Lru;
+        l1cfg.movementQueueEnabled = false;
+        l1cfg.slipMetadataEnabled = false;
+        l1cfg.seed = cfg.seed * 101 + c;
+        core->l1 = std::make_unique<CacheLevel>(l1cfg);
+        core->l1ctrl =
+            std::make_unique<BaselineController>(*core->l1, kSlipL2);
+
+        CacheLevelConfig l2cfg;
+        l2cfg.name = "L2." + std::to_string(c);
+        l2cfg.sizeBytes = cfg.l2Size;
+        l2cfg.ways = cfg.l2Ways;
+        l2cfg.topology = cfg.topology;
+        l2cfg.energy = cfg.tech.l2;
+        l2cfg.repl = cfg.repl;
+        l2cfg.movementQueueEnabled = cfg.policy != PolicyKind::Baseline;
+        l2cfg.slipMetadataEnabled = isSlipPolicy(cfg.policy);
+        l2cfg.movementQueuePj = cfg.tech.movementQueuePj;
+        l2cfg.seed = cfg.seed * 151 + c;
+        core->l2 = std::make_unique<CacheLevel>(l2cfg);
+        core->l2ctrl = makeController(*core->l2, kSlipL2);
+
+        _cores.push_back(std::move(core));
+    }
+
+    // EOUs: the L2 unit sees the L3's mean energy as the miss cost,
+    // the L3 unit sees the DRAM line energy (Equation 4).
+    if (isSlipPolicy(cfg.policy)) {
+        const bool abp = cfg.policy == PolicyKind::SlipAbp;
+
+        SlipEnergyModelParams l2m;
+        const CacheTopology &l2topo = _cores[0]->l2->topology();
+        for (unsigned sl = 0; sl < kNumSublevels; ++sl) {
+            l2m.sublevelEnergy[sl] = l2topo.sublevelEnergy(sl);
+            l2m.sublevelWays[sl] = l2topo.sublevelWays(sl);
+        }
+        l2m.nextLevelEnergy = _l3->topology().meanAccessEnergy();
+        l2m.includeInsertion = cfg.eouIncludeInsertion;
+        _eouL2 = std::make_unique<Eou>(SlipEnergyModel(l2m), abp);
+
+        SlipEnergyModelParams l3m;
+        const CacheTopology &l3topo = _l3->topology();
+        for (unsigned sl = 0; sl < kNumSublevels; ++sl) {
+            l3m.sublevelEnergy[sl] = l3topo.sublevelEnergy(sl);
+            l3m.sublevelWays[sl] = l3topo.sublevelWays(sl);
+        }
+        l3m.nextLevelEnergy = _dram.lineEnergy();
+        l3m.includeInsertion = cfg.eouIncludeInsertion;
+        // An inclusive LLC must never fully bypass (Section 4.3).
+        _eouL3 = std::make_unique<Eou>(SlipEnergyModel(l3m),
+                                       abp && !cfg.inclusiveL3);
+    }
+}
+
+System::~System() = default;
+
+std::unique_ptr<LevelController>
+System::makeController(CacheLevel &level, unsigned level_idx)
+{
+    switch (_cfg.policy) {
+      case PolicyKind::Baseline:
+        return std::make_unique<BaselineController>(level, level_idx);
+      case PolicyKind::NuRapid:
+        return std::make_unique<NuRapidController>(level, level_idx);
+      case PolicyKind::LruPea:
+        return std::make_unique<LruPeaController>(level, level_idx,
+                                                  _cfg.seed * 17 + 3);
+      case PolicyKind::Slip:
+      case PolicyKind::SlipAbp:
+        return std::make_unique<SlipController>(
+            level, level_idx, _cfg.randomSublevelVictim,
+            _cfg.seed * 13 + level_idx);
+    }
+    panic("unknown policy kind");
+}
+
+PageCtx
+System::pageCtx(Addr page)
+{
+    PageCtx ctx;
+    ctx.page = page;
+    if (!isSlipPolicy(_cfg.policy)) {
+        ctx.policies = defaultPolicies();
+        return ctx;
+    }
+    const Pte &pte = _pageTable.pte(rdBlock(page));
+    ctx.policies = pte.policies;
+    if (_cfg.samplingMode == SamplingMode::Always) {
+        ctx.collectRd = true;
+        ctx.useDefault = false;
+    } else {
+        ctx.collectRd = pte.sampling;
+        ctx.useDefault = pte.sampling;
+    }
+    return ctx;
+}
+
+void
+System::recordRd(const PageCtx &ctx, unsigned level_idx, int bin)
+{
+    if (!ctx.collectRd || !isSlipPolicy(_cfg.policy) || bin < 0)
+        return;
+    _metadata.page(rdBlock(ctx.page)).dist[level_idx].record(
+        static_cast<unsigned>(bin));
+}
+
+Cycles
+System::handleTlbMiss(Core &core, Addr page)
+{
+    Cycles lat = 0;
+    const Addr block = rdBlock(page);
+    Pte &pte = _pageTable.pte(block);
+
+    // Page walk: the PTE line is fetched through the hierarchy. This
+    // exists in every configuration, so it is demand traffic.
+    if (_cfg.modelPageWalks)
+        lat += metadataAccess(core, _pageTable.pteLine(page), false,
+                              AccessClass::Demand);
+
+    if (isSlipPolicy(_cfg.policy)) {
+        const Addr mline = _metadata.metadataLine(block);
+        if (_cfg.samplingMode == SamplingMode::Always) {
+            // Pre-sampling design: fetch the distribution and rerun
+            // the EOU on every TLB miss (Section 4.1's traffic
+            // problem, the tbl_sampling_traffic ablation).
+            lat += metadataAccess(core, mline, false,
+                                  AccessClass::Metadata);
+            const PageMetadata &md = _metadata.page(block);
+            PolicyPair fresh;
+            fresh.code[kSlipL2] =
+                _eouL2->optimize(md.dist[kSlipL2].bins());
+            fresh.code[kSlipL3] =
+                _eouL3->optimize(md.dist[kSlipL3].bins());
+            if (!(fresh == pte.policies)) {
+                pte.policies = fresh;
+                pte.dirty = true;
+                ++pte.updates;
+            }
+            core.l2->chargeEnergy(EnergyCat::Other, _cfg.tech.eouOpPj);
+            _l3->chargeEnergy(EnergyCat::Other, _cfg.tech.eouOpPj);
+            lat += 1;  // TLB blocked for the policy update
+            pte.sampling = true;
+        } else {
+            const bool was_sampling = pte.sampling;
+            const bool now_sampling = _sampling.transition(was_sampling);
+            if (was_sampling) {
+                // Distribution metadata is only fetched for sampling
+                // pages (Section 4.2).
+                lat += metadataAccess(core, mline, false,
+                                      AccessClass::Metadata);
+            }
+            if (was_sampling && !now_sampling) {
+                // Transition to stable: recompute the page's SLIPs.
+                const PageMetadata &md = _metadata.page(block);
+                PolicyPair fresh;
+                fresh.code[kSlipL2] =
+                    _eouL2->optimize(md.dist[kSlipL2].bins());
+                fresh.code[kSlipL3] =
+                    _eouL3->optimize(md.dist[kSlipL3].bins());
+                if (!(fresh == pte.policies)) {
+                    pte.policies = fresh;
+                    pte.dirty = true;
+                }
+                ++pte.updates;
+                core.l2->chargeEnergy(EnergyCat::Other,
+                                      _cfg.tech.eouOpPj);
+                _l3->chargeEnergy(EnergyCat::Other, _cfg.tech.eouOpPj);
+                lat += 1;  // TLB blocked for the policy update
+            }
+            pte.sampling = now_sampling;
+        }
+    }
+
+    Addr evicted = 0;
+    if (core.tlb.insert(page, evicted)) {
+        Pte &epte = _pageTable.pte(rdBlock(evicted));
+        if (isSlipPolicy(_cfg.policy) && epte.sampling &&
+            _cfg.samplingMode == SamplingMode::TimeBased) {
+            // Write the evicted page's distribution back (off the
+            // critical path of the missing access).
+            metadataAccess(core,
+                           _metadata.metadataLine(rdBlock(evicted)),
+                           true, AccessClass::Metadata);
+        }
+        if (epte.dirty && _cfg.modelPageWalks) {
+            metadataAccess(core, _pageTable.pteLine(evicted), true,
+                           AccessClass::Demand);
+            epte.dirty = false;
+        }
+    }
+    return lat;
+}
+
+Cycles
+System::metadataAccess(Core &core, Addr line, bool is_write,
+                       AccessClass cls)
+{
+    PageCtx ctx;
+    ctx.policies = defaultPolicies();
+    ctx.useDefault = true;  // metadata lines always use the Default SLIP
+
+    if (!is_write) {
+        // Allocating read path: L2 -> L3 -> DRAM with fills on return.
+        AccessResult r2 = core.l2ctrl->access(line, false, ctx, cls);
+        if (r2.hit)
+            return r2.latency;
+
+        Cycles lat = core.l2->topology().baselineLatency();
+        AccessResult r3 = _l3ctrl->access(line, false, ctx, cls);
+        if (r3.hit) {
+            lat += r3.latency;
+        } else {
+            lat += _l3->topology().baselineLatency();
+            // Distribution-metadata line fetches count as metadata
+            // traffic at the DRAM; PTE walks are ordinary demand.
+            if (cls == AccessClass::Metadata)
+                _dram.metadataAccess(kLineSize * 8);
+            else
+                _dram.access(false);
+            lat += _dram.latency();
+            std::vector<Eviction> evs;
+            _l3ctrl->fill(line, false, ctx, evs);
+            drainL3Evictions(evs);
+        }
+        std::vector<Eviction> evs2;
+        core.l2ctrl->fill(line, false, ctx, evs2);
+        drainL2Evictions(core, evs2);
+        return lat;
+    }
+
+    // Non-allocating write-through: update in place where cached,
+    // otherwise send the small record straight to DRAM.
+    const LookupResult lr2 = core.l2->lookup(line, cls);
+    if (lr2.hit)
+        return core.l2->recordWriteback(lr2.setIndex, lr2.way);
+    const LookupResult lr3 = _l3->lookup(line, cls);
+    if (lr3.hit)
+        return _l3->recordWriteback(lr3.setIndex, lr3.way);
+    if (cls == AccessClass::Metadata)
+        _dram.metadataAccess(_metadata.recordBits());
+    else
+        _dram.access(true);
+    return _dram.latency();
+}
+
+Cycles
+System::demandFetch(Core &core, Addr line, const PageCtx &ctx)
+{
+    AccessResult r2 =
+        core.l2ctrl->access(line, false, ctx, AccessClass::Demand);
+    if (r2.hit) {
+        recordRd(ctx, kSlipL2, r2.rdBin);
+        return r2.latency;
+    }
+    recordRd(ctx, kSlipL2, static_cast<int>(kNumSublevels));
+
+    Cycles lat = core.l2->topology().baselineLatency();
+    AccessResult r3 = _l3ctrl->access(line, false, ctx,
+                                      AccessClass::Demand);
+    if (r3.hit) {
+        recordRd(ctx, kSlipL3, r3.rdBin);
+        lat += r3.latency;
+    } else {
+        recordRd(ctx, kSlipL3, static_cast<int>(kNumSublevels));
+        lat += _l3->topology().baselineLatency();
+        lat += _dram.access(false);
+        std::vector<Eviction> evs;
+        _l3ctrl->fill(line, false, ctx, evs);
+        drainL3Evictions(evs);
+    }
+
+    std::vector<Eviction> evs2;
+    core.l2ctrl->fill(line, false, ctx, evs2);
+    drainL2Evictions(core, evs2);
+    return lat;
+}
+
+void
+System::writebackToL2(Core &core, Addr line)
+{
+    PageCtx ctx = pageCtx(pageOfLine(line));
+    ctx.collectRd = false;  // writebacks are not demand reuse
+
+    const LookupResult lr = core.l2->lookup(line, AccessClass::Demand);
+    if (lr.hit) {
+        core.l2->recordWriteback(lr.setIndex, lr.way);
+        return;
+    }
+    std::vector<Eviction> evs;
+    core.l2ctrl->fill(line, true, ctx, evs);
+    drainL2Evictions(core, evs);
+}
+
+void
+System::writebackToL3(Core &core, Addr line, PolicyPair policies)
+{
+    (void)core;
+    (void)policies;  // the fill consults the page's current policy
+    PageCtx ctx = pageCtx(pageOfLine(line));
+    ctx.collectRd = false;
+
+    const LookupResult lr = _l3->lookup(line, AccessClass::Demand);
+    if (lr.hit) {
+        _l3->recordWriteback(lr.setIndex, lr.way);
+        return;
+    }
+    std::vector<Eviction> evs;
+    _l3ctrl->fill(line, true, ctx, evs);
+    drainL3Evictions(evs);
+}
+
+void
+System::drainL2Evictions(Core &core, std::vector<Eviction> &evs)
+{
+    for (const Eviction &ev : evs)
+        if (ev.dirty)
+            writebackToL3(core, ev.lineAddr, ev.policies);
+    evs.clear();
+}
+
+void
+System::drainL3Evictions(std::vector<Eviction> &evs)
+{
+    for (const Eviction &ev : evs) {
+        bool dirty = ev.dirty;
+        if (_cfg.inclusiveL3) {
+            // Back-invalidate upper-level copies; a dirty copy there
+            // must reach memory since the LLC entry is gone.
+            for (auto &core : _cores) {
+                bool d1 = false, d2 = false;
+                core->l1->invalidate(ev.lineAddr, &d1);
+                core->l2->invalidate(ev.lineAddr, &d2);
+                dirty = dirty || d1 || d2;
+            }
+        }
+        if (dirty)
+            _dram.access(true);
+    }
+    evs.clear();
+}
+
+void
+System::access(unsigned core_id, const MemAccess &acc)
+{
+    slip_assert(core_id < _cores.size(), "core %u out of range",
+                core_id);
+    Core &core = *_cores[core_id];
+
+    if (_cfg.contextSwitchInterval &&
+        ++core.stats.accessesSinceSwitch >= _cfg.contextSwitchInterval) {
+        core.tlb.flush();
+        core.stats.accessesSinceSwitch = 0;
+    }
+
+    const Addr page = pageAddr(acc.addr);
+    const Addr line = lineAddr(acc.addr);
+
+    Cycles lat = 0;
+    if (!core.tlb.lookup(page))
+        lat += handleTlbMiss(core, page);
+
+    const PageCtx ctx = pageCtx(page);
+
+    // The L1-hit traffic each simulated reference stands for (the
+    // generators emit the post-L1 stream; see SystemConfig).
+    core.l1->chargeEnergy(EnergyCat::Access,
+                          _cfg.l1HitsPerMiss * _cfg.tech.l1AccessPj);
+
+    PageCtx l1ctx;  // the L1 is SLIP-agnostic
+    AccessResult r1 = core.l1ctrl->access(line, acc.isWrite(), l1ctx,
+                                          AccessClass::Demand);
+    lat += _cfg.l1Latency;
+    if (r1.hit) {
+        ++core.stats.l1Hits;
+    } else {
+        lat += demandFetch(core, line, ctx);
+        std::vector<Eviction> evs;
+        core.l1ctrl->fill(line, acc.isWrite(), ctx, evs);
+        for (const Eviction &ev : evs)
+            if (ev.dirty)
+                writebackToL2(core, ev.lineAddr);
+    }
+
+    ++core.stats.accesses;
+    core.stats.memStallCycles +=
+        static_cast<double>(lat - _cfg.l1Latency);
+}
+
+void
+System::run(const std::vector<AccessSource *> &sources,
+            std::uint64_t accesses_per_core,
+            std::uint64_t warmup_per_core)
+{
+    slip_assert(sources.size() == _cores.size(),
+                "need one source per core");
+
+    MemAccess acc;
+    for (std::uint64_t i = 0; i < warmup_per_core; ++i) {
+        for (unsigned c = 0; c < _cores.size(); ++c) {
+            if (sources[c]->next(acc))
+                access(c, acc);
+        }
+    }
+    if (warmup_per_core > 0)
+        resetStats();
+
+    for (std::uint64_t i = 0; i < accesses_per_core; ++i) {
+        for (unsigned c = 0; c < _cores.size(); ++c) {
+            if (sources[c]->next(acc))
+                access(c, acc);
+        }
+    }
+}
+
+CacheLevelStats
+System::combinedL2Stats() const
+{
+    CacheLevelStats sum;
+    for (const auto &core : _cores) {
+        const CacheLevelStats &s = core->l2->stats();
+        sum.demandAccesses += s.demandAccesses;
+        sum.demandHits += s.demandHits;
+        sum.metadataAccesses += s.metadataAccesses;
+        sum.metadataHits += s.metadataHits;
+        for (unsigned i = 0; i < kNumSublevels; ++i) {
+            sum.sublevelHits[i] += s.sublevelHits[i];
+            sum.sublevelInsertions[i] += s.sublevelInsertions[i];
+        }
+        sum.insertions += s.insertions;
+        sum.bypasses += s.bypasses;
+        for (unsigned i = 0; i < sum.insertClass.size(); ++i)
+            sum.insertClass[i] += s.insertClass[i];
+        sum.movements += s.movements;
+        sum.writebacks += s.writebacks;
+        sum.invalidations += s.invalidations;
+        for (unsigned i = 0; i < 4; ++i)
+            sum.reuseHistogram[i] += s.reuseHistogram[i];
+        for (unsigned i = 0; i < sum.energyPj.size(); ++i)
+            sum.energyPj[i] += s.energyPj[i];
+        sum.portBusyCycles += s.portBusyCycles;
+    }
+    return sum;
+}
+
+double
+System::l1EnergyPj() const
+{
+    double e = 0.0;
+    for (const auto &core : _cores)
+        e += core->l1->stats().totalEnergyPj();
+    return e;
+}
+
+double
+System::l2EnergyPj() const
+{
+    double e = 0.0;
+    for (const auto &core : _cores)
+        e += core->l2->stats().totalEnergyPj();
+    return e;
+}
+
+double
+System::fullSystemEnergyPj() const
+{
+    return instructions() * _cfg.tech.corePjPerInstr + l1EnergyPj() +
+           l2EnergyPj() + l3EnergyPj() + _dram.energyPj();
+}
+
+double
+System::instructions() const
+{
+    double accesses = 0.0;
+    for (const auto &core : _cores)
+        accesses += static_cast<double>(core->stats.accesses);
+    return accesses * _cfg.instrPerAccess;
+}
+
+double
+System::coreCycles(unsigned core_id) const
+{
+    const Core &core = *_cores[core_id];
+    const double instr =
+        static_cast<double>(core.stats.accesses) * _cfg.instrPerAccess;
+    const double base = instr / _cfg.issueWidth;
+    const double stalls = _cfg.stallFactor * core.stats.memStallCycles;
+    const double contention =
+        _cfg.portContentionFactor *
+        (static_cast<double>(core.l2->stats().portBusyCycles) +
+         static_cast<double>(_l3->stats().portBusyCycles) /
+             _cfg.numCores);
+    return base + stalls + contention;
+}
+
+double
+System::totalCycles() const
+{
+    double worst = 0.0;
+    for (unsigned c = 0; c < _cores.size(); ++c)
+        worst = std::max(worst, coreCycles(c));
+    return worst;
+}
+
+std::uint64_t
+System::eouOperations() const
+{
+    std::uint64_t ops = 0;
+    if (_eouL2)
+        ops += _eouL2->operations();
+    if (_eouL3)
+        ops += _eouL3->operations();
+    return ops;
+}
+
+void
+System::resetStats()
+{
+    for (auto &core : _cores) {
+        core->l1->resetStats();
+        core->l2->resetStats();
+        core->tlb.resetStats();
+        core->stats = CoreStats{};
+    }
+    _l3->resetStats();
+    _dram.resetStats();
+    if (_eouL2)
+        _eouL2->resetStats();
+    if (_eouL3)
+        _eouL3->resetStats();
+}
+
+void
+System::checkInvariants() const
+{
+    for (const auto &core : _cores) {
+        core->l1->checkInvariants();
+        core->l2->checkInvariants();
+    }
+    _l3->checkInvariants();
+}
+
+} // namespace slip

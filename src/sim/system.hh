@@ -1,0 +1,269 @@
+/**
+ * @file
+ * The full-system model: N cores, each with a private L1 and L2 and a
+ * TLB, sharing an L3 and DRAM; page table, per-page reuse-distance
+ * metadata, time-based sampling, and the EOU — the complete Figure 7
+ * machinery — plus an analytic out-of-order timing model.
+ *
+ * The simulator is trace driven: workload generators (src/workloads)
+ * produce address streams; System::run interleaves them round-robin
+ * across cores and accounts energy, traffic, and time.
+ */
+
+#ifndef SLIP_SIM_SYSTEM_HH
+#define SLIP_SIM_SYSTEM_HH
+
+#include <memory>
+#include <vector>
+
+#include "cache/cache_level.hh"
+#include "cache/level_controller.hh"
+#include "dram/dram_model.hh"
+#include "energy/energy_params.hh"
+#include "mem/trace.hh"
+#include "rd/metadata_store.hh"
+#include "rd/sampling.hh"
+#include "sim/policy_kind.hh"
+#include "slip/eou.hh"
+#include "tlb/page_table.hh"
+#include "tlb/tlb.hh"
+
+namespace slip {
+
+/** How page reuse statistics are collected. */
+enum class SamplingMode {
+    TimeBased,  ///< Section 4.2 (Nsamp/Nstab state machine)
+    Always,     ///< pre-sampling design: fetch + optimize on every
+                ///< TLB miss (the Section 4.1 traffic problem)
+};
+
+/** Complete configuration of a simulated system. */
+struct SystemConfig
+{
+    PolicyKind policy = PolicyKind::Baseline;
+    TechParams tech;  ///< defaults to tech45nm() in the ctor
+    TopologyKind topology = TopologyKind::HierBusWayInterleaved;
+    ReplKind repl = ReplKind::Lru;
+    /** Section 7 randomized-sublevel victim choice (use with Rrip). */
+    bool randomSublevelVictim = false;
+    /**
+     * Inclusive L3 (Section 4.3's coherence simplification): lines
+     * leaving the L3 back-invalidate any L1/L2 copies, and the
+     * All-Bypass Policy is withheld from the L3's EOU pool — a
+     * bypassed line could not exist in the upper levels.
+     */
+    bool inclusiveL3 = false;
+
+    unsigned numCores = 1;
+
+    // Cache geometry (Table 1).
+    std::uint64_t l1Size = 32 * 1024;
+    unsigned l1Ways = 8;
+    Cycles l1Latency = 4;
+    std::uint64_t l2Size = 256 * 1024;
+    unsigned l2Ways = 16;
+    std::uint64_t l3Size = 2 * 1024 * 1024;
+    unsigned l3Ways = 16;
+
+    // Reuse-distance machinery.
+    unsigned rdBinBits = 4;
+    SamplingMode samplingMode = SamplingMode::TimeBased;
+    unsigned nsamp = 16;
+    unsigned nstab = 256;
+    bool eouIncludeInsertion = true;
+    bool modelPageWalks = true;
+    unsigned tlbEntries = 64;
+    /**
+     * Pages per reuse-distance block (Section 7: the rd-block need not
+     * equal the page). Distributions and SLIPs are kept per rd-block;
+     * values > 1 cut metadata storage and speed convergence at the
+     * cost of coarser policies.
+     */
+    unsigned rdBlockPages = 1;
+    /**
+     * References between full TLB flushes, modelling OS timer ticks /
+     * context switches in the paper's full-system runs. Without this,
+     * pages hot enough to stay TLB-resident would never make a
+     * sampling-state transition and never receive a SLIP. 0 disables.
+     */
+    std::uint64_t contextSwitchInterval = 50'000;
+
+    // Timing / instruction-stream model. Workload generators emit the
+    // post-L1-filter reference stream (DESIGN.md §1): each simulated
+    // reference statistically stands for (1 + l1HitsPerMiss) L1
+    // accesses and instrPerAccess retired instructions.
+    unsigned issueWidth = 4;
+    double instrPerAccess = 30.0;
+    /** Synthetic L1 hits represented by each simulated reference. */
+    double l1HitsPerMiss = 9.0;
+    /** Fraction of memory latency exposed as stall (OoO overlap). */
+    double stallFactor = 0.35;
+    /** Fraction of movement port-busy time exposed as stall. */
+    double portContentionFactor = 0.01;
+
+    std::uint64_t seed = 1;
+
+    SystemConfig();
+};
+
+/** Per-core aggregate results. */
+struct CoreStats
+{
+    std::uint64_t accesses = 0;
+    std::uint64_t l1Hits = 0;
+    double memStallCycles = 0.0;
+    /** References since the last modelled context switch. */
+    std::uint64_t accessesSinceSwitch = 0;
+};
+
+/** The simulated machine. */
+class System
+{
+  public:
+    explicit System(const SystemConfig &cfg);
+    ~System();
+
+    const SystemConfig &config() const { return _cfg; }
+
+    /**
+     * Simulate @p accesses_per_core references per core, round-robin
+     * interleaved, after a warm-up of @p warmup_per_core references
+     * (statistics are reset at the warm-up boundary; cache contents
+     * are kept).
+     *
+     * @param sources one AccessSource per core
+     */
+    void run(const std::vector<AccessSource *> &sources,
+             std::uint64_t accesses_per_core,
+             std::uint64_t warmup_per_core = 0);
+
+    /** Issue a single reference on @p core (tests drive this). */
+    void access(unsigned core, const MemAccess &acc);
+
+    // ------------------------------------------------------------------
+    // Results
+    // ------------------------------------------------------------------
+
+    CacheLevel &l1(unsigned core) { return *_cores[core]->l1; }
+    CacheLevel &l2(unsigned core) { return *_cores[core]->l2; }
+    CacheLevel &l3() { return *_l3; }
+    const DramModel &dram() const { return _dram; }
+    DramModel &dram() { return _dram; }
+    Tlb &tlb(unsigned core) { return _cores[core]->tlb; }
+    PageTable &pageTable() { return _pageTable; }
+    MetadataStore &metadataStore() { return _metadata; }
+    unsigned numCores() const { return _cfg.numCores; }
+
+    const CoreStats &coreStats(unsigned core) const
+    {
+        return _cores[core]->stats;
+    }
+
+    /** L2 stats summed over cores (private L2s). */
+    CacheLevelStats combinedL2Stats() const;
+
+    /** Total dynamic energy of one level across cores, pJ. */
+    double l1EnergyPj() const;
+    double l2EnergyPj() const;
+    double l3EnergyPj() const { return _l3->stats().totalEnergyPj(); }
+
+    /** Core + L1 + L2 + L3 + DRAM dynamic energy (Figure 10), pJ. */
+    double fullSystemEnergyPj() const;
+
+    /** Retired instructions (accesses x instrPerAccess). */
+    double instructions() const;
+
+    /** Execution time of @p core under the analytic timing model. */
+    double coreCycles(unsigned core) const;
+
+    /** Slowest core's cycles (the run's execution time). */
+    double totalCycles() const;
+
+    /** EOU invocations across both levels. */
+    std::uint64_t eouOperations() const;
+
+    /** The per-level optimizer units (null for non-SLIP policies). */
+    const Eou *eouL2() const { return _eouL2.get(); }
+    const Eou *eouL3() const { return _eouL3.get(); }
+
+    /** Reset all statistics; cache/TLB/page-table contents persist. */
+    void resetStats();
+
+    /** Structural invariants of every level (tests). */
+    void checkInvariants() const;
+
+  private:
+    struct Core
+    {
+        std::unique_ptr<CacheLevel> l1;
+        std::unique_ptr<LevelController> l1ctrl;
+        std::unique_ptr<CacheLevel> l2;
+        std::unique_ptr<LevelController> l2ctrl;
+        Tlb tlb;
+        CoreStats stats;
+
+        explicit Core(unsigned tlb_entries) : tlb(tlb_entries) {}
+    };
+
+    /** Build a controller of the configured kind over @p level. */
+    std::unique_ptr<LevelController> makeController(CacheLevel &level,
+                                                    unsigned level_idx);
+
+    /** TLB miss: walk, state transition, metadata fetch, EOU. */
+    Cycles handleTlbMiss(Core &core, Addr page);
+
+    /** rd-block of a page (Section 7 granularity extension). */
+    Addr
+    rdBlock(Addr page) const
+    {
+        return page / _cfg.rdBlockPages;
+    }
+
+    /** Page context for a demand access to @p page. */
+    PageCtx pageCtx(Addr page);
+
+    /** Record one reuse-distance observation for a page at a level. */
+    void recordRd(const PageCtx &ctx, unsigned level_idx, int bin);
+
+    /**
+     * Demand read through L2 -> L3 -> DRAM with fills on the way back.
+     * @return service latency below the L1
+     */
+    Cycles demandFetch(Core &core, Addr line, const PageCtx &ctx);
+
+    /** Route a dirty line evicted from the L1 into the L2 (and down). */
+    void writebackToL2(Core &core, Addr line);
+
+    /** Route a dirty line leaving a private L2 into the shared L3. */
+    void writebackToL3(Core &core, Addr line, PolicyPair policies);
+
+    /** Process eviction lists: forward dirty lines downward. */
+    void drainL2Evictions(Core &core, std::vector<Eviction> &evs);
+    void drainL3Evictions(std::vector<Eviction> &evs);
+
+    /**
+     * Metadata line read/write through the hierarchy (distribution
+     * fetches/writebacks, PTE walks). Non-allocating writes.
+     * @return service latency
+     */
+    Cycles metadataAccess(Core &core, Addr line, bool is_write,
+                          AccessClass cls);
+
+    SystemConfig _cfg;
+
+    std::vector<std::unique_ptr<Core>> _cores;
+    std::unique_ptr<CacheLevel> _l3;
+    std::unique_ptr<LevelController> _l3ctrl;
+    DramModel _dram;
+
+    PageTable _pageTable;
+    MetadataStore _metadata;
+    SamplingController _sampling;
+    std::unique_ptr<Eou> _eouL2;
+    std::unique_ptr<Eou> _eouL3;
+    double _eouEnergyPj = 0.0;
+};
+
+} // namespace slip
+
+#endif // SLIP_SIM_SYSTEM_HH

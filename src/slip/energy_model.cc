@@ -1,0 +1,67 @@
+#include "slip/energy_model.hh"
+
+#include "util/logging.hh"
+
+namespace slip {
+
+double
+SlipEnergyModel::chunkEnergy(const SlipPolicy &policy, unsigned i) const
+{
+    slip_assert(i < policy.numChunks(), "chunk %u out of range", i);
+    double energy = 0.0;
+    unsigned ways = 0;
+    for (unsigned sl = policy.chunkBegin(i); sl < policy.chunkEnd(i);
+         ++sl) {
+        energy += _p.sublevelEnergy[sl] * _p.sublevelWays[sl];
+        ways += _p.sublevelWays[sl];
+    }
+    return energy / ways;
+}
+
+std::vector<double>
+SlipEnergyModel::coefficients(const SlipPolicy &policy) const
+{
+    const unsigned nbins = kNumSublevels + 1;
+    std::vector<double> alpha(nbins, 0.0);
+
+    const unsigned M = policy.numChunks();
+    const unsigned k = policy.usedSublevels();
+
+    for (unsigned b = 0; b < nbins; ++b) {
+        double a = 0.0;
+        if (b < k) {
+            // Served from the chunk containing sublevel b (Eq. 3).
+            const int chunk = policy.chunkOfSublevel(b);
+            slip_assert(chunk >= 0, "bin %u not covered by used prefix",
+                        b);
+            a += chunkEnergy(policy, static_cast<unsigned>(chunk));
+        } else {
+            // Reuse distance exceeds the used capacity: a miss (Eq. 4),
+            // plus the refill write into chunk 0 (DESIGN.md §4).
+            a += _p.nextLevelEnergy;
+            if (_p.includeInsertion && M > 0)
+                a += chunkEnergy(policy, 0);
+        }
+        // Movement G_i -> G_{i+1} whenever the reuse distance exceeds
+        // the cumulative capacity of chunks <= i (Eq. 2).
+        for (unsigned i = 0; i + 1 < M; ++i) {
+            if (b >= policy.chunkEnd(i))
+                a += chunkEnergy(policy, i) + chunkEnergy(policy, i + 1);
+        }
+        alpha[b] = a;
+    }
+    return alpha;
+}
+
+double
+SlipEnergyModel::energy(const SlipPolicy &policy,
+                        const double *probs) const
+{
+    const auto alpha = coefficients(policy);
+    double e = 0.0;
+    for (unsigned b = 0; b < alpha.size(); ++b)
+        e += alpha[b] * probs[b];
+    return e;
+}
+
+} // namespace slip

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * The analytical SLIP energy model of Section 3.2 (Equations 1-5).
+ *
+ * For a line with reuse-distance distribution P (one probability mass
+ * per capacity-aligned bin), the expected access+movement+miss energy of
+ * a SLIP is linear in the bin masses. This module computes the
+ * coefficient vector alpha_j for every policy j, which the EOU
+ * preprograms into its Energy Evaluation Units.
+ *
+ * Bins: for S sublevels there are S+1 bins. Bin b < S holds references
+ * whose reuse distance fits within the first b+1 sublevels but not the
+ * first b; bin S holds references that exceed the whole level (misses).
+ *
+ * Coefficient of bin b for policy j with chunks G_0..G_{M-1} using k
+ * sublevels (chunk i covering sublevels [begin_i, end_i)):
+ *
+ *   access:   if b < k,     + Ebar_{chunk(b)}              (Eq. 3)
+ *   movement: for i < M-1:  if b >= end_i, + Ebar_i+Ebar_{i+1} (Eq. 2)
+ *   miss:     if b >= k,    + E_NL                          (Eq. 4)
+ *   insert:   if b >= k and M > 0, + Ebar_0   (refill; see DESIGN.md §4)
+ *
+ * Ebar_i is the way-weighted mean access energy of the sublevels in
+ * chunk i. The insertion term is an explicitly documented extension:
+ * Figure 11's caption states movement energy includes insertion energy,
+ * and without it the ABP could never win on energy. Construction with
+ * include_insertion = false reproduces the strict printed equations.
+ */
+
+#ifndef SLIP_SLIP_ENERGY_MODEL_HH
+#define SLIP_SLIP_ENERGY_MODEL_HH
+
+#include <array>
+#include <vector>
+
+#include "energy/energy_params.hh"
+#include "slip/slip_policy.hh"
+
+namespace slip {
+
+/** Per-level inputs to the analytic model. */
+struct SlipEnergyModelParams
+{
+    /** Way-weighted sublevel access energies Ebar, nearest first. */
+    std::array<double, kNumSublevels> sublevelEnergy;
+    /** Ways per sublevel (weights for chunk averaging). */
+    std::array<unsigned, kNumSublevels> sublevelWays;
+    /** Mean access energy of the next level (E_NL, Eq. 4). */
+    double nextLevelEnergy;
+    /** Model the refill write on a miss (see file comment). */
+    bool includeInsertion = true;
+};
+
+/** Computes Equation 1-5 coefficients and reference energies. */
+class SlipEnergyModel
+{
+  public:
+    explicit SlipEnergyModel(const SlipEnergyModelParams &params)
+        : _p(params)
+    {}
+
+    const SlipEnergyModelParams &params() const { return _p; }
+
+    /** Way-weighted mean energy Ebar of chunk @p i of @p policy. */
+    double chunkEnergy(const SlipPolicy &policy, unsigned i) const;
+
+    /**
+     * The coefficient vector alpha_j (length S+1) such that the
+     * expected energy per access is dot(alpha_j, P).
+     */
+    std::vector<double> coefficients(const SlipPolicy &policy) const;
+
+    /**
+     * Reference (double precision) expected energy per access for a
+     * policy and a bin distribution @p probs (length S+1; need not be
+     * normalised — only relative comparisons matter).
+     */
+    double energy(const SlipPolicy &policy, const double *probs) const;
+
+  private:
+    SlipEnergyModelParams _p;
+};
+
+} // namespace slip
+
+#endif // SLIP_SLIP_ENERGY_MODEL_HH

@@ -1,0 +1,83 @@
+#include "slip/eou.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/fixed_point.hh"
+#include "util/logging.hh"
+
+namespace slip {
+
+Eou::Eou(const SlipEnergyModel &model, bool allow_abp)
+    : _model(model), _allowAbp(allow_abp)
+{
+    const auto &pols = SlipPolicy::all(kNumSublevels);
+    _coeffs.resize(pols.size());
+    for (std::size_t code = 0; code < pols.size(); ++code) {
+        const auto alpha = _model.coefficients(pols[code]);
+        std::vector<std::uint32_t> q;
+        q.reserve(alpha.size());
+        for (double a : alpha)
+            q.push_back(quantizeEnergy(a, kCoeffBits, kFracBits));
+        _coeffs[code] = std::move(q);
+    }
+    _choices.assign(pols.size(), 0);
+}
+
+std::uint8_t
+Eou::optimize(const std::uint8_t *bins)
+{
+    ++_ops;
+    const unsigned nbins = kNumSublevels + 1;
+
+    // An empty distribution carries no information: use the Default
+    // SLIP, exactly as during warm-up (Section 3.1).
+    std::uint32_t total = 0;
+    for (unsigned b = 0; b < nbins; ++b)
+        total += bins[b];
+    if (total == 0) {
+        ++_choices[SlipPolicy::defaultCode(kNumSublevels)];
+        return SlipPolicy::defaultCode(kNumSublevels);
+    }
+
+    std::uint8_t best = 0;
+    std::uint64_t best_e = std::numeric_limits<std::uint64_t>::max();
+    for (std::size_t code = 0; code < _coeffs.size(); ++code) {
+        if (!_allowAbp && code == SlipPolicy::kAbpCode)
+            continue;
+        const std::uint64_t e =
+            eeuDotProduct(bins, _coeffs[code].data(), nbins);
+        // Ties break toward the HIGHER code: among equal-energy SLIPs
+        // the later-enumerated one uses more chunks/sublevels, which
+        // keeps displaced lines in the cache instead of evicting them
+        // (a robustness choice the analytic model cannot see).
+        if (e <= best_e) {
+            best_e = e;
+            best = static_cast<std::uint8_t>(code);
+        }
+    }
+    slip_assert(best_e != std::numeric_limits<std::uint64_t>::max(),
+                "no candidate policy evaluated");
+    ++_choices[best];
+    return best;
+}
+
+std::uint8_t
+Eou::referenceOptimize(const double *probs) const
+{
+    const auto &pols = SlipPolicy::all(kNumSublevels);
+    std::uint8_t best = 0;
+    double best_e = std::numeric_limits<double>::infinity();
+    for (std::size_t code = 0; code < pols.size(); ++code) {
+        if (!_allowAbp && code == SlipPolicy::kAbpCode)
+            continue;
+        const double e = _model.energy(pols[code], probs);
+        if (e <= best_e + 1e-12) {
+            best_e = std::min(e, best_e);
+            best = static_cast<std::uint8_t>(code);
+        }
+    }
+    return best;
+}
+
+} // namespace slip

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * The Energy Optimizer Unit (Section 4.4, Figure 8).
+ *
+ * The EOU is an array of Energy Evaluation Units, one per candidate
+ * SLIP; each EEU is a dot-product unit preprogrammed with the fixed
+ * coefficient vector alpha_j of its policy. Given a quantized reuse
+ * distance distribution (the raw 4-bit bin counters — normalisation
+ * does not change the argmin), the EOU returns the code of the
+ * minimum-energy SLIP.
+ *
+ * The datapath is modelled in fixed point exactly as a synthesized unit
+ * would compute it: coefficients quantized to kCoeffBits with
+ * kFracBits fractional bits, unsigned multiply-accumulate, ties broken
+ * toward the lowest code. Tests check the fixed-point argmin against
+ * the double-precision reference of SlipEnergyModel.
+ *
+ * Cost model from the paper's 45 nm synthesis: 1.27 pJ and 2 cycles per
+ * optimization, fully pipelined.
+ */
+
+#ifndef SLIP_SLIP_EOU_HH
+#define SLIP_SLIP_EOU_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "slip/energy_model.hh"
+
+namespace slip {
+
+/** Hardware unit computing the energy-optimal SLIP for a distribution. */
+class Eou
+{
+  public:
+    /** Fixed-point coefficient format of the EEU datapath. */
+    static constexpr unsigned kCoeffBits = 24;
+    static constexpr unsigned kFracBits = 2;
+
+    /**
+     * @param model     analytic energy model for this cache level
+     * @param allow_abp include the all-bypass policy in the candidate
+     *                  pool (SLIP+ABP vs. plain SLIP configurations)
+     */
+    Eou(const SlipEnergyModel &model, bool allow_abp);
+
+    /**
+     * One optimization operation: evaluate every EEU on the raw bin
+     * counts and return the code of the minimum-energy SLIP.
+     *
+     * @param bins raw bin counters, length kNumSublevels+1
+     */
+    std::uint8_t optimize(const std::uint8_t *bins);
+
+    /**
+     * Double-precision reference argmin over the same candidate pool
+     * (for validation; not part of the hardware).
+     */
+    std::uint8_t referenceOptimize(const double *probs) const;
+
+    /** Quantized coefficients of EEU @p code (tests/inspection). */
+    const std::vector<std::uint32_t> &
+    eeuCoefficients(std::uint8_t code) const
+    {
+        return _coeffs.at(code);
+    }
+
+    bool allowsAbp() const { return _allowAbp; }
+
+    /** Number of optimize() operations performed (energy accounting). */
+    std::uint64_t operations() const { return _ops; }
+
+    /** How often optimize() selected each code (inspection/tests). */
+    const std::vector<std::uint64_t> &choiceCounts() const
+    {
+        return _choices;
+    }
+
+    void
+    resetStats()
+    {
+        _ops = 0;
+        std::fill(_choices.begin(), _choices.end(), 0);
+    }
+
+  private:
+    SlipEnergyModel _model;
+    bool _allowAbp;
+    /** Per-code quantized coefficient vectors (the EEU programs). */
+    std::vector<std::vector<std::uint32_t>> _coeffs;
+    std::uint64_t _ops = 0;
+    std::vector<std::uint64_t> _choices;
+};
+
+} // namespace slip
+
+#endif // SLIP_SLIP_EOU_HH

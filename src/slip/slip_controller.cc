@@ -1,0 +1,105 @@
+#include "slip/slip_controller.hh"
+
+#include "util/logging.hh"
+
+namespace slip {
+
+SlipController::SlipController(CacheLevel &level, unsigned level_idx,
+                               bool random_sublevel_victim,
+                               std::uint64_t seed)
+    : LevelController(level, level_idx),
+      _randomSublevelVictim(random_sublevel_victim), _rng(seed)
+{
+}
+
+std::uint32_t
+SlipController::victimMask(const SlipPolicy &pol, unsigned chunk)
+{
+    const unsigned begin = pol.chunkBegin(chunk);
+    const unsigned end = pol.chunkEnd(chunk);
+    if (!_randomSublevelVictim || end - begin == 1)
+        return _level.sublevelMask(begin, end);
+
+    // Section 7: pick one sublevel of the chunk at random, weighted by
+    // its way count, and choose the victim within that sublevel. This
+    // preserves RRIP's scan/thrash resistance per sublevel.
+    unsigned total_ways = 0;
+    for (unsigned sl = begin; sl < end; ++sl)
+        total_ways += _level.topology().sublevelWays(sl);
+    std::uint64_t pick = _rng.below(total_ways);
+    for (unsigned sl = begin; sl < end; ++sl) {
+        const unsigned w = _level.topology().sublevelWays(sl);
+        if (pick < w)
+            return _level.sublevelMask(sl, sl + 1);
+        pick -= w;
+    }
+    panic("weighted sublevel pick out of range");
+}
+
+bool
+SlipController::fill(Addr line, bool dirty, const PageCtx &page,
+                     std::vector<Eviction> &out)
+{
+    // Sampling pages use the Default SLIP so their reuse behaviour is
+    // observed unbiased (Section 4.2).
+    const std::uint8_t code =
+        page.useDefault ? SlipPolicy::defaultCode(kNumSublevels)
+                        : page.policies.code[_idx];
+    const SlipPolicy &pol = SlipPolicy::fromCode(kNumSublevels, code);
+
+    if (pol.isAllBypass()) {
+        ++_level.stats().bypasses;
+        ++_level.stats().insertClass[static_cast<unsigned>(
+            InsertClass::AllBypass)];
+        if (dirty) {
+            // A bypassed dirty line (a writeback that missed here) is
+            // forwarded straight to the next level.
+            Eviction ev;
+            ev.lineAddr = line;
+            ev.dirty = true;
+            ev.policies = page.policies;
+            out.push_back(ev);
+        }
+        return false;
+    }
+
+    const unsigned set = _level.setIndex(line);
+    const unsigned way = _level.chooseVictim(set, victimMask(pol, 0));
+    if (_level.lineAt(set, way).valid)
+        displace(set, way, out, 0);
+    _level.installLine(set, way, line, dirty, page.policies,
+                       pol.classify(kNumSublevels));
+    _level.drainMovements();
+    return true;
+}
+
+void
+SlipController::displace(unsigned set, unsigned way,
+                         std::vector<Eviction> &out, unsigned depth)
+{
+    slip_assert(depth <= kNumSublevels, "displacement cascade too deep");
+
+    const CacheLine &victim = _level.lineAt(set, way);
+    const SlipPolicy &vpol = SlipPolicy::fromCode(
+        kNumSublevels, victim.policies.code[_idx]);
+
+    const unsigned sl = _level.topology().sublevelOf(way);
+    const int chunk = vpol.chunkOfSublevel(sl);
+
+    // No next chunk (or a stale policy that no longer covers this
+    // sublevel): the line leaves the level entirely.
+    if (chunk < 0 ||
+        static_cast<unsigned>(chunk) + 1 >= vpol.numChunks()) {
+        out.push_back(_level.evictLine(set, way));
+        return;
+    }
+
+    const unsigned next = static_cast<unsigned>(chunk) + 1;
+    const unsigned dest =
+        _level.chooseVictim(set, victimMask(vpol, next));
+    if (_level.lineAt(set, dest).valid)
+        displace(set, dest, out, depth + 1);
+    _stallCycles += _level.moveLine(set, way, dest);
+}
+
+} // namespace slip

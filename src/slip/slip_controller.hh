@@ -1,0 +1,73 @@
+/**
+ * @file
+ * The SLIP insertion/movement controller (Sections 3.1 and 4.3).
+ *
+ * On a fill, the page's SLIP (from the PTE, or the Default SLIP while
+ * the page is sampling) chooses the insertion chunk C0; a victim is
+ * taken from C0's ways with the underlying replacement policy and is
+ * itself displaced according to *its own* stored SLIP — evicted from
+ * chunk C_i, it moves into chunk C_{i+1}, cascading until a victim has
+ * no next chunk and leaves the level (Figure 6). The All-Bypass Policy
+ * never inserts.
+ *
+ * Cascades terminate because every hop moves the displaced line to a
+ * strictly farther sublevel: a line residing in a way of chunk C_i only
+ * occupies sublevels below those of C_{i+1}.
+ */
+
+#ifndef SLIP_SLIP_SLIP_CONTROLLER_HH
+#define SLIP_SLIP_SLIP_CONTROLLER_HH
+
+#include "cache/level_controller.hh"
+#include "slip/slip_policy.hh"
+
+namespace slip {
+
+/** SLIP policy layer for one lower-level cache. */
+class SlipController : public LevelController
+{
+  public:
+    /**
+     * @param level     storage (must have SLIP metadata enabled)
+     * @param level_idx kSlipL2 or kSlipL3 — which PTE policy slot rules
+     *                  this level
+     * @param random_sublevel_victim use the Section 7 randomized
+     *                  sublevel victim choice (for RRIP replacement)
+     */
+    SlipController(CacheLevel &level, unsigned level_idx,
+                   bool random_sublevel_victim = false,
+                   std::uint64_t seed = 7);
+
+    const char *name() const override { return "slip"; }
+
+    bool fill(Addr line, bool dirty, const PageCtx &page,
+              std::vector<Eviction> &out) override;
+
+    /** Movement-queue backpressure stalls since the last access. */
+    Cycles takeStallCycles()
+    {
+        const Cycles s = _stallCycles;
+        _stallCycles = 0;
+        return s;
+    }
+
+  private:
+    /**
+     * Free the way holding @p way's line by displacing that line into
+     * the next chunk of its own SLIP (or out of the level), recursing
+     * as needed.
+     */
+    void displace(unsigned set, unsigned way, std::vector<Eviction> &out,
+                  unsigned depth);
+
+    /** Victim mask for chunk @p chunk of @p pol (see ctor flag). */
+    std::uint32_t victimMask(const SlipPolicy &pol, unsigned chunk);
+
+    bool _randomSublevelVictim;
+    Random _rng;
+    Cycles _stallCycles = 0;
+};
+
+} // namespace slip
+
+#endif // SLIP_SLIP_SLIP_CONTROLLER_HH

@@ -1,0 +1,120 @@
+#include "slip/slip_policy.hh"
+
+#include <map>
+
+#include "util/logging.hh"
+
+namespace slip {
+
+SlipPolicy
+SlipPolicy::fromChunkEnds(std::vector<unsigned> ends)
+{
+    unsigned prev = 0;
+    for (unsigned e : ends) {
+        slip_assert(e > prev, "chunk ends must be strictly increasing");
+        prev = e;
+    }
+    SlipPolicy p;
+    p._ends = std::move(ends);
+    return p;
+}
+
+int
+SlipPolicy::chunkOfSublevel(unsigned sl) const
+{
+    for (unsigned i = 0; i < numChunks(); ++i)
+        if (sl >= chunkBegin(i) && sl < chunkEnd(i))
+            return static_cast<int>(i);
+    return -1;
+}
+
+InsertClass
+SlipPolicy::classify(unsigned num_sublevels) const
+{
+    if (isAllBypass())
+        return InsertClass::AllBypass;
+    if (usedSublevels() < num_sublevels)
+        return InsertClass::PartialBypass;
+    if (isDefault(num_sublevels))
+        return InsertClass::Default;
+    return InsertClass::Other;
+}
+
+std::string
+SlipPolicy::str() const
+{
+    std::string out = "{";
+    for (unsigned i = 0; i < numChunks(); ++i) {
+        if (i)
+            out += ",";
+        out += "[";
+        for (unsigned sl = chunkBegin(i); sl < chunkEnd(i); ++sl) {
+            if (sl != chunkBegin(i))
+                out += ",";
+            out += std::to_string(sl);
+        }
+        out += "]";
+    }
+    out += "}";
+    return out;
+}
+
+const std::vector<SlipPolicy> &
+SlipPolicy::all(unsigned num_sublevels)
+{
+    slip_assert(num_sublevels >= 1 && num_sublevels <= 5,
+                "unsupported sublevel count %u", num_sublevels);
+    static std::map<unsigned, std::vector<SlipPolicy>> cache;
+    auto it = cache.find(num_sublevels);
+    if (it != cache.end())
+        return it->second;
+
+    std::vector<SlipPolicy> pols;
+    pols.push_back(SlipPolicy{});  // code 0: ABP
+    // For each used-prefix length k, enumerate the 2^(k-1) compositions
+    // via a bitmask of cut positions (bit j set = cut after sublevel j).
+    for (unsigned k = 1; k <= num_sublevels; ++k) {
+        const unsigned cuts_max = 1u << (k - 1);
+        for (unsigned cuts = 0; cuts < cuts_max; ++cuts) {
+            std::vector<unsigned> ends;
+            for (unsigned j = 0; j + 1 < k; ++j)
+                if ((cuts >> j) & 1)
+                    ends.push_back(j + 1);
+            ends.push_back(k);
+            pols.push_back(fromChunkEnds(std::move(ends)));
+        }
+    }
+    slip_assert(pols.size() == numPolicies(num_sublevels),
+                "enumeration produced %zu policies, expected %u",
+                pols.size(), numPolicies(num_sublevels));
+    return cache.emplace(num_sublevels, std::move(pols)).first->second;
+}
+
+const SlipPolicy &
+SlipPolicy::fromCode(unsigned num_sublevels, std::uint8_t code)
+{
+    const auto &pols = all(num_sublevels);
+    slip_assert(code < pols.size(), "SLIP code %u out of range", code);
+    return pols[code];
+}
+
+std::uint8_t
+SlipPolicy::code(unsigned num_sublevels) const
+{
+    const auto &pols = all(num_sublevels);
+    for (std::size_t i = 0; i < pols.size(); ++i)
+        if (pols[i] == *this)
+            return static_cast<std::uint8_t>(i);
+    panic("policy %s not in enumeration for %u sublevels", str().c_str(),
+          num_sublevels);
+}
+
+std::uint8_t
+SlipPolicy::defaultCode(unsigned num_sublevels)
+{
+    // k = S with no cuts is the first policy of the k = S block:
+    // 1 (ABP) + sum_{k=1}^{S-1} 2^(k-1) = 2^(S-1).
+    return static_cast<std::uint8_t>(1u << (num_sublevels - 1));
+}
+
+} // namespace slip

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Sub-Level Insertion Policy representation and enumeration (Section 3).
+ *
+ * A SLIP for a level with S sublevels partitions a *prefix* of the
+ * sublevels into contiguous chunks; skipped suffix sublevels are
+ * bypassed. Examples for S = 3 (paper notation):
+ *
+ *   {}                 - the All-Bypass Policy (ABP)
+ *   {[0]}              - insert into sublevel 0, bypass the rest
+ *   {[0,1,2]}          - the Default SLIP (behaves like a normal cache)
+ *   {[0],[1,2]}        - two exclusive chunks
+ *
+ * There are exactly 2^S such policies ("skipping" interior sublevels is
+ * excluded; footnote 1 of the paper measured < 1% benefit). Each policy
+ * has a canonical S-bit code used for the per-page PTE storage and the
+ * per-line metadata.
+ */
+
+#ifndef SLIP_SLIP_SLIP_POLICY_HH
+#define SLIP_SLIP_SLIP_POLICY_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cache/cache_level.hh"
+
+namespace slip {
+
+/** One SLIP: an ordered list of chunks over a sublevel prefix. */
+class SlipPolicy
+{
+  public:
+    /** The all-bypass policy ({}). */
+    SlipPolicy() = default;
+
+    /**
+     * Build from chunk end points: chunk i covers sublevels
+     * [ends[i-1], ends[i]). E.g. {[0],[1,2]} has ends {1, 3}.
+     */
+    static SlipPolicy fromChunkEnds(std::vector<unsigned> ends);
+
+    /** Number of chunks M (0 for the ABP). */
+    unsigned numChunks() const
+    {
+        return static_cast<unsigned>(_ends.size());
+    }
+
+    /** First sublevel of chunk @p i. */
+    unsigned
+    chunkBegin(unsigned i) const
+    {
+        return i == 0 ? 0 : _ends[i - 1];
+    }
+
+    /** One past the last sublevel of chunk @p i. */
+    unsigned chunkEnd(unsigned i) const { return _ends.at(i); }
+
+    /** Number of sublevels the policy uses (prefix length k). */
+    unsigned
+    usedSublevels() const
+    {
+        return _ends.empty() ? 0 : _ends.back();
+    }
+
+    /** Chunk index containing sublevel @p sl, or -1 when bypassed. */
+    int chunkOfSublevel(unsigned sl) const;
+
+    bool isAllBypass() const { return _ends.empty(); }
+
+    /** True for the single-chunk-of-everything policy. */
+    bool
+    isDefault(unsigned num_sublevels) const
+    {
+        return _ends.size() == 1 && _ends[0] == num_sublevels;
+    }
+
+    /** Figure 14 classification. */
+    InsertClass classify(unsigned num_sublevels) const;
+
+    /** Paper-style rendering, e.g. "{[0],[1,2]}". */
+    std::string str() const;
+
+    bool
+    operator==(const SlipPolicy &o) const
+    {
+        return _ends == o._ends;
+    }
+
+    // ------------------------------------------------------------------
+    // Canonical enumeration / S-bit codes
+    // ------------------------------------------------------------------
+
+    /** Number of policies for S sublevels: 2^S. */
+    static unsigned
+    numPolicies(unsigned num_sublevels)
+    {
+        return 1u << num_sublevels;
+    }
+
+    /**
+     * The canonical enumeration for S sublevels. Code 0 is the ABP;
+     * codes are stable, so 3 bits fully describe a policy for S = 3.
+     */
+    static const std::vector<SlipPolicy> &all(unsigned num_sublevels);
+
+    /** Policy for a given S-bit code. */
+    static const SlipPolicy &fromCode(unsigned num_sublevels,
+                                      std::uint8_t code);
+
+    /** Code of this policy within the canonical enumeration. */
+    std::uint8_t code(unsigned num_sublevels) const;
+
+    /** Code of the ABP. */
+    static constexpr std::uint8_t kAbpCode = 0;
+
+    /** Code of the Default SLIP for S sublevels. */
+    static std::uint8_t defaultCode(unsigned num_sublevels);
+
+  private:
+    /** Exclusive end sublevel of each chunk, strictly increasing. */
+    std::vector<unsigned> _ends;
+};
+
+} // namespace slip
+
+#endif // SLIP_SLIP_SLIP_POLICY_HH

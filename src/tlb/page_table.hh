@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Page table with SLIP extensions (Sections 3.1 and 4.2).
+ *
+ * Each PTE carries, in otherwise-ignored bits of the 64 b x86-64
+ * format: the page's 3 b L2 SLIP, 3 b L3 SLIP, and the 1 b
+ * sampling/stable state. PTEs live in a reserved physical region (8
+ * per 64 B line) so page walks travel through the cache hierarchy.
+ */
+
+#ifndef SLIP_TLB_PAGE_TABLE_HH
+#define SLIP_TLB_PAGE_TABLE_HH
+
+#include <unordered_map>
+
+#include "cache/line.hh"
+#include "mem/types.hh"
+
+namespace slip {
+
+/** The SLIP-relevant contents of one page-table entry. */
+struct Pte
+{
+    PolicyPair policies;    ///< 6 b of SLIP codes (L2, L3)
+    bool sampling = true;   ///< Section 4.2 page state
+    bool dirty = false;     ///< SLIP bits changed since last writeback
+
+    /** Times the page's SLIP was recomputed (for inspection). */
+    std::uint32_t updates = 0;
+};
+
+/** Functional page table; PTEs are created on first touch. */
+class PageTable
+{
+  public:
+    /**
+     * @param default_policies initial SLIP codes for unseen pages
+     *        (the Default SLIP, set by the system at construction)
+     * @param pte_region_base  line address of the PTE region
+     */
+    explicit PageTable(PolicyPair default_policies = PolicyPair{},
+                       Addr pte_region_base_line = Addr{1} << 45)
+        : _defaultPolicies(default_policies), _base(pte_region_base_line)
+    {}
+
+    /** The PTE of @p page (created in the sampling state on demand). */
+    Pte &
+    pte(Addr page)
+    {
+        auto it = _map.find(page);
+        if (it == _map.end()) {
+            Pte fresh;
+            fresh.policies = _defaultPolicies;
+            it = _map.emplace(page, fresh).first;
+        }
+        return it->second;
+    }
+
+    /** Line address of the PTE line for @p page (8 PTEs per line). */
+    Addr pteLine(Addr page) const { return _base + page / 8; }
+
+    std::size_t pagesTouched() const { return _map.size(); }
+
+  private:
+    PolicyPair _defaultPolicies;
+    Addr _base;
+    std::unordered_map<Addr, Pte> _map;
+};
+
+} // namespace slip
+
+#endif // SLIP_TLB_PAGE_TABLE_HH

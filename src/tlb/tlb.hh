@@ -1,0 +1,113 @@
+/**
+ * @file
+ * A simple fully associative LRU TLB.
+ *
+ * The TLB acts as a presence/recency filter over pages: a TLB miss
+ * triggers the page walk, the sampling-state transition roll, the
+ * distribution fetch (sampling pages), and possibly an EOU policy
+ * update (Figure 7, steps 1-4). Policy/state content itself lives in
+ * the PageTable; on eviction of a sampling page the system writes its
+ * distribution back.
+ */
+
+#ifndef SLIP_TLB_TLB_HH
+#define SLIP_TLB_TLB_HH
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "mem/types.hh"
+#include "util/logging.hh"
+
+namespace slip {
+
+/** Fully associative, LRU-replaced TLB over page numbers. */
+class Tlb
+{
+  public:
+    explicit Tlb(unsigned entries = 64) : _entries(entries) {}
+
+    unsigned capacity() const { return _entries; }
+
+    /** True when @p page is resident; refreshes recency on hit. */
+    bool
+    lookup(Addr page)
+    {
+        ++_accesses;
+        auto it = _map.find(page);
+        if (it == _map.end()) {
+            ++_misses;
+            return false;
+        }
+        it->second = ++_clock;
+        return true;
+    }
+
+    /**
+     * Install @p page after a walk; evicts the LRU entry when full.
+     * @param evicted receives the displaced page number
+     * @return true when an entry was evicted
+     */
+    bool
+    insert(Addr page, Addr &evicted)
+    {
+        slip_assert(_map.find(page) == _map.end(),
+                    "inserting resident page");
+        bool evict = false;
+        if (_map.size() >= _entries) {
+            auto lru = _map.begin();
+            for (auto it = _map.begin(); it != _map.end(); ++it)
+                if (it->second < lru->second)
+                    lru = it;
+            evicted = lru->first;
+            _map.erase(lru);
+            evict = true;
+        }
+        _map.emplace(page, ++_clock);
+        return evict;
+    }
+
+    /** Remove @p page if resident (shootdown). */
+    bool
+    invalidate(Addr page)
+    {
+        return _map.erase(page) > 0;
+    }
+
+    /**
+     * Flush every entry (a context switch / address-space change).
+     * Resident pages will re-walk on their next touch, which is what
+     * lets permanently-hot pages make sampling-state transitions.
+     */
+    void
+    flush()
+    {
+        _map.clear();
+        ++_flushes;
+    }
+
+    std::uint64_t flushes() const { return _flushes; }
+
+    std::uint64_t accesses() const { return _accesses; }
+    std::uint64_t misses() const { return _misses; }
+    double
+    missRate() const
+    {
+        return _accesses ? static_cast<double>(_misses) / _accesses : 0.0;
+    }
+
+    void resetStats() { _accesses = _misses = 0; }
+
+  private:
+    unsigned _entries;
+    std::unordered_map<Addr, std::uint64_t> _map;
+    std::uint64_t _clock = 0;
+
+    std::uint64_t _accesses = 0;
+    std::uint64_t _misses = 0;
+    std::uint64_t _flushes = 0;
+};
+
+} // namespace slip
+
+#endif // SLIP_TLB_TLB_HH

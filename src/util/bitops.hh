@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Small bit-manipulation helpers used throughout the simulator.
+ */
+
+#ifndef SLIP_UTIL_BITOPS_HH
+#define SLIP_UTIL_BITOPS_HH
+
+#include <bit>
+#include <cstdint>
+
+#include "util/logging.hh"
+
+namespace slip {
+
+/** True when @p v is a power of two (zero is not). */
+constexpr bool
+isPowerOf2(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/** Integer log2 of a power of two. Panics on non-powers in debug use. */
+inline unsigned
+floorLog2(std::uint64_t v)
+{
+    slip_assert(v != 0, "floorLog2 of zero");
+    return 63u - static_cast<unsigned>(std::countl_zero(v));
+}
+
+/** log2 of an exact power of two. */
+inline unsigned
+exactLog2(std::uint64_t v)
+{
+    slip_assert(isPowerOf2(v), "exactLog2 of non-power-of-two %llu",
+                static_cast<unsigned long long>(v));
+    return floorLog2(v);
+}
+
+/** Extract bits [lo, hi] (inclusive) from @p v. */
+constexpr std::uint64_t
+bits(std::uint64_t v, unsigned hi, unsigned lo)
+{
+    const std::uint64_t width = hi - lo + 1;
+    const std::uint64_t mask =
+        width >= 64 ? ~0ull : ((1ull << width) - 1);
+    return (v >> lo) & mask;
+}
+
+/** A mask with the low @p n bits set. */
+constexpr std::uint64_t
+mask(unsigned n)
+{
+    return n >= 64 ? ~0ull : ((1ull << n) - 1);
+}
+
+/** Population count convenience wrapper. */
+constexpr unsigned
+popCount(std::uint64_t v)
+{
+    return static_cast<unsigned>(std::popcount(v));
+}
+
+/** Round @p v up to the next multiple of @p align (a power of two). */
+constexpr std::uint64_t
+roundUp(std::uint64_t v, std::uint64_t align)
+{
+    return (v + align - 1) & ~(align - 1);
+}
+
+} // namespace slip
+
+#endif // SLIP_UTIL_BITOPS_HH

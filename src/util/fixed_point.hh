@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Fixed-point arithmetic helpers mirroring the EOU hardware datapath.
+ *
+ * The Energy Evaluation Units (EEUs) in Section 4.4 of the paper are
+ * integer dot-product units: 4-bit reuse-distance bin counts multiplied
+ * by preprogrammed energy coefficients. This header provides the integer
+ * types and saturation behaviour a synthesized datapath would have, so
+ * software results are bit-reproducible against an RTL model.
+ */
+
+#ifndef SLIP_UTIL_FIXED_POINT_HH
+#define SLIP_UTIL_FIXED_POINT_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace slip {
+
+/**
+ * Quantize a non-negative energy value (in picojoules) to an unsigned
+ * integer coefficient with @p fracBits fractional bits, saturating at the
+ * coefficient width @p coeffBits.
+ *
+ * @param pj        energy in picojoules (must be >= 0)
+ * @param coeffBits total coefficient width in bits
+ * @param fracBits  number of fractional bits in the fixed-point format
+ * @return          saturated fixed-point representation
+ */
+inline std::uint32_t
+quantizeEnergy(double pj, unsigned coeffBits, unsigned fracBits)
+{
+    if (pj < 0)
+        pj = 0;
+    const double scaled = pj * static_cast<double>(1u << fracBits) + 0.5;
+    const std::uint64_t max_val =
+        coeffBits >= 64 ? ~0ull : ((1ull << coeffBits) - 1);
+    if (scaled >= static_cast<double>(max_val))
+        return static_cast<std::uint32_t>(max_val);
+    return static_cast<std::uint32_t>(scaled);
+}
+
+/** Convert a fixed-point coefficient back to picojoules. */
+inline double
+dequantizeEnergy(std::uint32_t coeff, unsigned fracBits)
+{
+    return static_cast<double>(coeff) /
+           static_cast<double>(1u << fracBits);
+}
+
+/**
+ * Dot product of @p n bin counts and coefficients with 64-bit
+ * accumulation — the EEU operation. Bin counts are at most 4 bits and
+ * coefficients at most ~20 bits in practice, so the accumulator cannot
+ * overflow for any realistic configuration.
+ */
+inline std::uint64_t
+eeuDotProduct(const std::uint8_t *bins, const std::uint32_t *coeffs,
+              unsigned n)
+{
+    std::uint64_t acc = 0;
+    for (unsigned i = 0; i < n; ++i)
+        acc += static_cast<std::uint64_t>(bins[i]) * coeffs[i];
+    return acc;
+}
+
+} // namespace slip
+
+#endif // SLIP_UTIL_FIXED_POINT_HH

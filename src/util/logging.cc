@@ -1,0 +1,99 @@
+#include "util/logging.hh"
+
+#include <cstdarg>
+
+namespace slip {
+
+Logger &
+Logger::get()
+{
+    static Logger logger;
+    return logger;
+}
+
+void
+Logger::vemit(LogLevel level, const char *fmt, std::va_list ap)
+{
+    const char *prefix = "";
+    std::FILE *stream = stdout;
+    switch (level) {
+      case LogLevel::Inform:
+        if (_quiet)
+            return;
+        prefix = "info: ";
+        break;
+      case LogLevel::Warn:
+        if (_quiet)
+            return;
+        prefix = "warn: ";
+        stream = stderr;
+        break;
+      case LogLevel::Fatal:
+        prefix = "fatal: ";
+        stream = stderr;
+        break;
+      case LogLevel::Panic:
+        prefix = "panic: ";
+        stream = stderr;
+        break;
+    }
+    std::fputs(prefix, stream);
+    std::vfprintf(stream, fmt, ap);
+    std::fputc('\n', stream);
+    std::fflush(stream);
+}
+
+void
+inform(const char *fmt, ...)
+{
+    std::va_list ap;
+    va_start(ap, fmt);
+    Logger::get().vemit(LogLevel::Inform, fmt, ap);
+    va_end(ap);
+}
+
+void
+warn(const char *fmt, ...)
+{
+    std::va_list ap;
+    va_start(ap, fmt);
+    Logger::get().vemit(LogLevel::Warn, fmt, ap);
+    va_end(ap);
+}
+
+void
+fatal(const char *fmt, ...)
+{
+    std::va_list ap;
+    va_start(ap, fmt);
+    Logger::get().vemit(LogLevel::Fatal, fmt, ap);
+    va_end(ap);
+    std::exit(1);
+}
+
+void
+panic(const char *fmt, ...)
+{
+    std::va_list ap;
+    va_start(ap, fmt);
+    Logger::get().vemit(LogLevel::Panic, fmt, ap);
+    va_end(ap);
+    std::abort();
+}
+
+void
+panicAssert(const char *cond, const char *file, int line,
+            const char *fmt, ...)
+{
+    std::fprintf(stderr, "panic: assertion '%s' failed at %s:%d: ",
+                 cond, file, line);
+    std::va_list ap;
+    va_start(ap, fmt);
+    std::vfprintf(stderr, fmt, ap);
+    va_end(ap);
+    std::fputc('\n', stderr);
+    std::fflush(stderr);
+    std::abort();
+}
+
+} // namespace slip

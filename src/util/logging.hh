@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Error and status reporting in the style of gem5's base/logging.hh.
+ *
+ * panic()  - an internal invariant was violated (a simulator bug); aborts.
+ * fatal()  - the user asked for something impossible (bad config); exits.
+ * warn()   - something is approximated or suspicious but the run continues.
+ * inform() - plain status output.
+ */
+
+#ifndef SLIP_UTIL_LOGGING_HH
+#define SLIP_UTIL_LOGGING_HH
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace slip {
+
+/** Severity levels understood by the logger. */
+enum class LogLevel { Inform, Warn, Fatal, Panic };
+
+/**
+ * Global verbosity control. Messages below the threshold are dropped.
+ * Fatal/Panic are never dropped.
+ */
+class Logger
+{
+  public:
+    /** Returns the process-wide logger. */
+    static Logger &get();
+
+    /** Suppress Inform (and optionally Warn) output. */
+    void setQuiet(bool quiet) { _quiet = quiet; }
+    bool quiet() const { return _quiet; }
+
+    /** Core printf-style emit; adds a level prefix and newline. */
+    void vemit(LogLevel level, const char *fmt, std::va_list ap);
+
+  private:
+    bool _quiet = false;
+};
+
+/** Print an informational message (suppressed when quiet). */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Print a warning; the simulation continues. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/**
+ * Report a user error (bad configuration or arguments) and exit(1).
+ * Use for conditions that are the user's fault, not the simulator's.
+ */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Report an internal error (a simulator bug) and abort().
+ * Use for conditions that should never happen regardless of input.
+ */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Backing function for slip_assert: prints the failed condition and
+ * location, then the formatted message, then aborts.
+ */
+[[noreturn]] void panicAssert(const char *cond, const char *file,
+                              int line, const char *fmt, ...)
+    __attribute__((format(printf, 4, 5)));
+
+/** Assert a simulator invariant; panics with the message on failure. */
+#define slip_assert(cond, ...)                                            \
+    do {                                                                  \
+        if (!(cond)) {                                                    \
+            ::slip::panicAssert(#cond, __FILE__, __LINE__,                \
+                                __VA_ARGS__);                             \
+        }                                                                 \
+    } while (0)
+
+} // namespace slip
+
+#endif // SLIP_UTIL_LOGGING_HH

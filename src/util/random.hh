@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for the simulator.
+ *
+ * Every stochastic component (sampling-state transitions, LRU-PEA random
+ * bank choice, workload generators) draws from its own Random instance so
+ * experiments are reproducible and components do not perturb each other.
+ */
+
+#ifndef SLIP_UTIL_RANDOM_HH
+#define SLIP_UTIL_RANDOM_HH
+
+#include <cstdint>
+
+#include "util/logging.hh"
+
+namespace slip {
+
+/**
+ * xoshiro256** generator. Small, fast, and high quality; good enough for
+ * simulation sampling decisions and synthetic workloads.
+ */
+class Random
+{
+  public:
+    /** Seed with splitmix64 expansion of @p seed. */
+    explicit Random(std::uint64_t seed = 0x5151515151515151ull)
+    {
+        reseed(seed);
+    }
+
+    /** Re-initialise the state from @p seed. */
+    void
+    reseed(std::uint64_t seed)
+    {
+        // splitmix64 to fill the state; avoids all-zero state.
+        std::uint64_t x = seed + 0x9e3779b97f4a7c15ull;
+        for (auto &word : _s) {
+            x += 0x9e3779b97f4a7c15ull;
+            std::uint64_t z = x;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+            word = z ^ (z >> 31);
+        }
+    }
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(_s[1] * 5, 7) * 9;
+        const std::uint64_t t = _s[1] << 17;
+        _s[2] ^= _s[0];
+        _s[3] ^= _s[1];
+        _s[1] ^= _s[2];
+        _s[0] ^= _s[3];
+        _s[2] ^= t;
+        _s[3] = rotl(_s[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [0, bound). @p bound must be nonzero. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        slip_assert(bound != 0, "Random::below(0)");
+        // Lemire's multiply-shift rejection-free-enough reduction; the
+        // slight bias is irrelevant at simulation sample counts.
+        return static_cast<std::uint64_t>(
+            (static_cast<unsigned __int128>(next()) * bound) >> 64);
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::uint64_t
+    range(std::uint64_t lo, std::uint64_t hi)
+    {
+        slip_assert(lo <= hi, "Random::range lo > hi");
+        return lo + below(hi - lo + 1);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Bernoulli draw with probability @p p. */
+    bool
+    chance(double p)
+    {
+        return uniform() < p;
+    }
+
+    /** Bernoulli draw with probability 1/n (hardware-style LFSR test). */
+    bool
+    oneIn(std::uint64_t n)
+    {
+        return below(n) == 0;
+    }
+
+  private:
+    static constexpr std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t _s[4];
+};
+
+} // namespace slip
+
+#endif // SLIP_UTIL_RANDOM_HH

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Saturating counter utilities.
+ *
+ * The reuse-distance distribution storage (Section 4.1) keeps 4-bit bin
+ * counters and halves all bins when any would overflow, which both avoids
+ * saturation and ages out stale history. SatCounterArray implements that
+ * behaviour generically so tests can sweep the bin width (the paper's
+ * bit-width sensitivity study).
+ */
+
+#ifndef SLIP_UTIL_SATURATING_HH
+#define SLIP_UTIL_SATURATING_HH
+
+#include <array>
+#include <cstdint>
+
+#include "util/logging.hh"
+
+namespace slip {
+
+/**
+ * A small array of saturating counters with halve-on-overflow semantics.
+ *
+ * @tparam N number of counters
+ */
+template <unsigned N>
+class SatCounterArray
+{
+  public:
+    /** @param width counter width in bits (1..8). */
+    explicit SatCounterArray(unsigned width = 4) { setWidth(width); }
+
+    /** Change the counter width and clear all counters. */
+    void
+    setWidth(unsigned width)
+    {
+        slip_assert(width >= 1 && width <= 8,
+                    "counter width %u out of range", width);
+        _max = static_cast<std::uint8_t>((1u << width) - 1);
+        clear();
+    }
+
+    /** Reset every counter to zero. */
+    void clear() { _counts.fill(0); }
+
+    /**
+     * Increment counter @p idx; if it would exceed the maximum, first
+     * halve every counter (rounding down), then increment.
+     * @return true when a halving occurred.
+     */
+    bool
+    increment(unsigned idx)
+    {
+        slip_assert(idx < N, "counter index %u out of range", idx);
+        bool halved = false;
+        if (_counts[idx] >= _max) {
+            for (auto &c : _counts)
+                c >>= 1;
+            halved = true;
+        }
+        ++_counts[idx];
+        return halved;
+    }
+
+    /** Raw counter value. */
+    std::uint8_t count(unsigned idx) const { return _counts[idx]; }
+
+    /** Sum of all counters (fits easily in 32 bits). */
+    std::uint32_t
+    total() const
+    {
+        std::uint32_t t = 0;
+        for (auto c : _counts)
+            t += c;
+        return t;
+    }
+
+    /** Maximum representable count for the current width. */
+    std::uint8_t maxCount() const { return _max; }
+
+    /** Direct access for serialization into page metadata words. */
+    const std::array<std::uint8_t, N> &raw() const { return _counts; }
+
+    /** Load raw counter values (e.g. from DRAM metadata). */
+    void
+    load(const std::array<std::uint8_t, N> &values)
+    {
+        for (unsigned i = 0; i < N; ++i) {
+            slip_assert(values[i] <= _max, "loaded count exceeds width");
+            _counts[i] = values[i];
+        }
+    }
+
+  private:
+    std::array<std::uint8_t, N> _counts{};
+    std::uint8_t _max = 15;
+};
+
+} // namespace slip
+
+#endif // SLIP_UTIL_SATURATING_HH

@@ -1,0 +1,26 @@
+#include "util/stats.hh"
+
+#include <cstdio>
+
+namespace slip {
+
+std::string
+StatGroup::dump() const
+{
+    std::string out;
+    char line[256];
+    for (const auto &kv : _counters) {
+        std::snprintf(line, sizeof(line), "%s.%s %llu\n", _name.c_str(),
+                      kv.first.c_str(),
+                      static_cast<unsigned long long>(kv.second.value()));
+        out += line;
+    }
+    for (const auto &kv : _accums) {
+        std::snprintf(line, sizeof(line), "%s.%s %.6g\n", _name.c_str(),
+                      kv.first.c_str(), kv.second.sum());
+        out += line;
+    }
+    return out;
+}
+
+} // namespace slip

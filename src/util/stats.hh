@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Lightweight statistics package: named scalar counters, energy
+ * accumulators, and fixed-bin histograms, grouped per component.
+ *
+ * Modelled loosely on gem5's stats but deliberately simple: a StatGroup
+ * owns named stats, supports reset between measurement windows (warm-up
+ * vs. region of interest), and can dump itself as text.
+ */
+
+#ifndef SLIP_UTIL_STATS_HH
+#define SLIP_UTIL_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace slip {
+
+/** A monotonically increasing event counter. */
+class Counter
+{
+  public:
+    void inc(std::uint64_t n = 1) { _value += n; }
+    void reset() { _value = 0; }
+    std::uint64_t value() const { return _value; }
+
+  private:
+    std::uint64_t _value = 0;
+};
+
+/** An accumulator for real-valued quantities (energy in pJ, cycles). */
+class Accumulator
+{
+  public:
+    void add(double v) { _sum += v; ++_samples; }
+    void reset() { _sum = 0.0; _samples = 0; }
+    double sum() const { return _sum; }
+    std::uint64_t samples() const { return _samples; }
+    double mean() const { return _samples ? _sum / _samples : 0.0; }
+
+  private:
+    double _sum = 0.0;
+    std::uint64_t _samples = 0;
+};
+
+/** A histogram over a fixed number of bins with overflow in the last. */
+class Histogram
+{
+  public:
+    explicit Histogram(std::size_t nbins = 0) : _bins(nbins, 0) {}
+
+    void resize(std::size_t nbins) { _bins.assign(nbins, 0); }
+
+    void
+    sample(std::size_t bin)
+    {
+        if (_bins.empty())
+            return;
+        if (bin >= _bins.size())
+            bin = _bins.size() - 1;
+        ++_bins[bin];
+    }
+
+    void reset() { for (auto &b : _bins) b = 0; }
+
+    std::uint64_t bin(std::size_t i) const { return _bins.at(i); }
+    std::size_t numBins() const { return _bins.size(); }
+
+    std::uint64_t
+    total() const
+    {
+        std::uint64_t t = 0;
+        for (auto b : _bins)
+            t += b;
+        return t;
+    }
+
+    /** Fraction of samples in bin @p i (0 when the histogram is empty). */
+    double
+    fraction(std::size_t i) const
+    {
+        const std::uint64_t t = total();
+        return t ? static_cast<double>(bin(i)) / static_cast<double>(t)
+                 : 0.0;
+    }
+
+  private:
+    std::vector<std::uint64_t> _bins;
+};
+
+/**
+ * A named collection of stats belonging to one simulated component.
+ * Stats register themselves by name; the group can reset and dump them.
+ */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name) : _name(std::move(name)) {}
+
+    Counter &counter(const std::string &name) { return _counters[name]; }
+    Accumulator &accum(const std::string &name) { return _accums[name]; }
+
+    const std::string &name() const { return _name; }
+
+    /** Reset every stat (used when the warm-up window ends). */
+    void
+    reset()
+    {
+        for (auto &kv : _counters)
+            kv.second.reset();
+        for (auto &kv : _accums)
+            kv.second.reset();
+    }
+
+    /** Render all stats as "group.stat value" lines. */
+    std::string dump() const;
+
+  private:
+    std::string _name;
+    std::map<std::string, Counter> _counters;
+    std::map<std::string, Accumulator> _accums;
+};
+
+} // namespace slip
+
+#endif // SLIP_UTIL_STATS_HH

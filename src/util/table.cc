@@ -1,0 +1,93 @@
+#include "util/table.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace slip {
+
+void
+TextTable::setHeader(std::vector<std::string> header)
+{
+    _header = std::move(header);
+}
+
+void
+TextTable::addRow(std::vector<std::string> row)
+{
+    _rows.push_back(std::move(row));
+}
+
+void
+TextTable::addSeparator()
+{
+    _rows.push_back({kSeparatorTag});
+}
+
+std::string
+TextTable::num(double v, int decimals)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+    return buf;
+}
+
+std::string
+TextTable::pct(double fraction, int decimals)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%+.*f%%", decimals,
+                  fraction * 100.0);
+    return buf;
+}
+
+std::string
+TextTable::render() const
+{
+    // Compute column widths across header and all rows.
+    std::vector<std::size_t> widths;
+    auto grow = [&widths](const std::vector<std::string> &row) {
+        if (!row.empty() && row[0] == kSeparatorTag)
+            return;
+        if (row.size() > widths.size())
+            widths.resize(row.size(), 0);
+        for (std::size_t i = 0; i < row.size(); ++i)
+            widths[i] = std::max(widths[i], row[i].size());
+    };
+    grow(_header);
+    for (const auto &row : _rows)
+        grow(row);
+
+    std::size_t line_len = 0;
+    for (auto w : widths)
+        line_len += w + 2;
+
+    auto render_row = [&](const std::vector<std::string> &row,
+                          std::string &out) {
+        for (std::size_t i = 0; i < widths.size(); ++i) {
+            const std::string &cell = i < row.size() ? row[i] : "";
+            out += cell;
+            out.append(widths[i] - cell.size() + 2, ' ');
+        }
+        while (!out.empty() && out.back() == ' ')
+            out.pop_back();
+        out += '\n';
+    };
+
+    std::string out;
+    if (!_header.empty()) {
+        render_row(_header, out);
+        out.append(line_len, '-');
+        out += '\n';
+    }
+    for (const auto &row : _rows) {
+        if (!row.empty() && row[0] == kSeparatorTag) {
+            out.append(line_len, '-');
+            out += '\n';
+        } else {
+            render_row(row, out);
+        }
+    }
+    return out;
+}
+
+} // namespace slip

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * ASCII table formatting for the experiment harnesses in bench/.
+ *
+ * Every bench binary prints a paper-style table (per-benchmark rows,
+ * per-policy columns). TextTable keeps that code out of the harnesses.
+ */
+
+#ifndef SLIP_UTIL_TABLE_HH
+#define SLIP_UTIL_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace slip {
+
+/** A simple right-padded column-aligned text table. */
+class TextTable
+{
+  public:
+    /** Set the header row. */
+    void setHeader(std::vector<std::string> header);
+
+    /** Append a data row (may be ragged; short rows are padded). */
+    void addRow(std::vector<std::string> row);
+
+    /** Append a horizontal separator line. */
+    void addSeparator();
+
+    /** Render the table with aligned columns. */
+    std::string render() const;
+
+    /** Format a double with @p decimals places. */
+    static std::string num(double v, int decimals = 2);
+
+    /** Format a value as a signed percentage, e.g. "+35.2%". */
+    static std::string pct(double fraction, int decimals = 1);
+
+  private:
+    static constexpr const char *kSeparatorTag = "\x01--";
+
+    std::vector<std::string> _header;
+    std::vector<std::vector<std::string>> _rows;
+};
+
+} // namespace slip
+
+#endif // SLIP_UTIL_TABLE_HH

@@ -1,0 +1,55 @@
+#include "workloads/benchmark.hh"
+
+#include "util/logging.hh"
+
+namespace slip {
+
+std::size_t
+Workload::pickComponent()
+{
+    slip_assert(!_phases.empty(), "workload '%s' has no phases",
+                _name.c_str());
+    const Phase &phase = _phases[_phaseIdx];
+
+    double total = 0.0;
+    for (std::size_t i = 0;
+         i < phase.weights.size() && i < _components.size(); ++i)
+        total += phase.weights[i];
+    slip_assert(total > 0.0, "phase with zero total weight");
+
+    double pick = _rng.uniform() * total;
+    for (std::size_t i = 0;
+         i < phase.weights.size() && i < _components.size(); ++i) {
+        pick -= phase.weights[i];
+        if (pick <= 0.0)
+            return i;
+    }
+    return _components.size() - 1;
+}
+
+bool
+Workload::next(MemAccess &out)
+{
+    const std::size_t idx = pickComponent();
+    out.addr = _components[idx]->next(_rng);
+    out.type = _rng.chance(_writeFraction) ? AccessType::Write
+                                           : AccessType::Read;
+
+    if (++_phasePos >= _phases[_phaseIdx].length) {
+        _phasePos = 0;
+        _phaseIdx = (_phaseIdx + 1) % _phases.size();
+    }
+    return true;
+}
+
+void
+Workload::reset()
+{
+    _rng.reseed(_seed);
+    for (auto &c : _components)
+        c->reset();
+    _phaseIdx = 0;
+    _phasePos = 0;
+}
+
+} // namespace slip

@@ -1,0 +1,345 @@
+/**
+ * @file
+ * Access-pattern primitives for synthetic workloads.
+ *
+ * Every SPEC-like benchmark in the suite (spec_suite.hh) is a weighted,
+ * phased mixture of these primitives. Each primitive controls the reuse
+ * distance its references exhibit — the single property SLIP's decision
+ * machinery consumes — so a mixture can be calibrated to the reuse
+ * profiles the paper reports (Figures 1 and 3).
+ *
+ *  - LoopPattern:    cyclic sequential walk of a region; every line's
+ *                    reuse distance equals the region size.
+ *  - RandomPattern:  uniform random lines in a region; reuse distances
+ *                    are geometric around the region size.
+ *  - HotColdPattern: two RandomPatterns with a hot fraction.
+ *  - ScanPattern:    endless forward streaming; lines are never reused
+ *                    (the NR = 0 population of Figure 1).
+ *  - ChasePattern:   full-period LCG permutation walk — loop-like reuse
+ *                    distance with random page order (TLB pressure).
+ *  - BimodalStreamPattern: soplex's forest.cc behaviour (Figure 3): a
+ *                    segment of the array is streamed twice (rotate,
+ *                    then use); segment length is short with
+ *                    probability p, else long.
+ */
+
+#ifndef SLIP_WORKLOADS_PATTERN_HH
+#define SLIP_WORKLOADS_PATTERN_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "mem/types.hh"
+#include "util/bitops.hh"
+#include "util/random.hh"
+
+namespace slip {
+
+/** A stateful generator of byte addresses within its own region. */
+class Pattern
+{
+  public:
+    virtual ~Pattern() = default;
+
+    /** Produce the next byte address. */
+    virtual Addr next(Random &rng) = 0;
+
+    /** Restart from the initial state. */
+    virtual void reset() = 0;
+};
+
+/** Cyclic sequential walk: reuse distance == footprint. */
+class LoopPattern : public Pattern
+{
+  public:
+    LoopPattern(Addr base, std::uint64_t footprint_bytes,
+                unsigned stride = kLineSize)
+        : _base(base), _footprint(footprint_bytes), _stride(stride)
+    {}
+
+    Addr
+    next(Random &) override
+    {
+        const Addr a = _base + _pos;
+        _pos += _stride;
+        if (_pos >= _footprint)
+            _pos = 0;
+        return a;
+    }
+
+    void reset() override { _pos = 0; }
+
+  private:
+    Addr _base;
+    std::uint64_t _footprint;
+    unsigned _stride;
+    std::uint64_t _pos = 0;
+};
+
+/**
+ * A cyclic loop over a slowly sliding window: every @p drift_period
+ * accesses the window advances by one line within a region 8x the
+ * footprint. Real hot working sets drift like this — lines are
+ * periodically evicted and refetched, so their cache placement follows
+ * the *current* policy rather than wherever they landed at warm-up.
+ * The added miss rate is 1/drift_period.
+ */
+class DriftingLoopPattern : public Pattern
+{
+  public:
+    DriftingLoopPattern(Addr base, std::uint64_t footprint_bytes,
+                        unsigned drift_period = 50)
+        : _base(base), _lines(footprint_bytes / kLineSize),
+          _regionLines(8 * _lines), _driftPeriod(drift_period)
+    {
+        slip_assert(_lines > 0, "empty drifting loop");
+    }
+
+    Addr
+    next(Random &) override
+    {
+        const std::uint64_t line = (_start + _pos) % _regionLines;
+        if (++_pos >= _lines)
+            _pos = 0;
+        if (++_sinceDrift >= _driftPeriod) {
+            _sinceDrift = 0;
+            _start = (_start + 1) % _regionLines;
+        }
+        return _base + line * kLineSize;
+    }
+
+    void
+    reset() override
+    {
+        _pos = 0;
+        _start = 0;
+        _sinceDrift = 0;
+    }
+
+  private:
+    Addr _base;
+    std::uint64_t _lines;
+    std::uint64_t _regionLines;
+    unsigned _driftPeriod;
+
+    std::uint64_t _pos = 0;
+    std::uint64_t _start = 0;
+    unsigned _sinceDrift = 0;
+};
+
+/** Uniform random lines within a region. */
+class RandomPattern : public Pattern
+{
+  public:
+    RandomPattern(Addr base, std::uint64_t footprint_bytes)
+        : _base(base), _lines(footprint_bytes / kLineSize)
+    {}
+
+    Addr
+    next(Random &rng) override
+    {
+        return _base + rng.below(_lines) * kLineSize;
+    }
+
+    void reset() override {}
+
+  private:
+    Addr _base;
+    std::uint64_t _lines;
+};
+
+/**
+ * Sparse reuse: mostly-fresh random lines, but with probability
+ * @p p_reuse the next reference re-touches a line generated a short
+ * while ago. Pages of this component have low but real hit rates —
+ * exactly the population whose evidence a narrow reuse-distance
+ * counter rounds to zero (the paper's 2-bit-bin failure mode), and
+ * whose retention the L3's huge miss cost justifies.
+ */
+class SparseReusePattern : public Pattern
+{
+  public:
+    SparseReusePattern(Addr base, std::uint64_t footprint_bytes,
+                       double p_reuse = 0.10,
+                       unsigned reuse_window = 2048)
+        : _base(base), _lines(footprint_bytes / kLineSize),
+          _pReuse(p_reuse), _ring(reuse_window, 0)
+    {}
+
+    Addr
+    next(Random &rng) override
+    {
+        if (_filled >= _ring.size() && rng.chance(_pReuse)) {
+            // Re-touch a line from the recent window.
+            const std::size_t back =
+                1 + rng.below(_ring.size() - 1);
+            const std::size_t idx =
+                (_head + _ring.size() - back) % _ring.size();
+            return _base + _ring[idx] * kLineSize;
+        }
+        const std::uint64_t line = rng.below(_lines);
+        _ring[_head] = line;
+        _head = (_head + 1) % _ring.size();
+        if (_filled < _ring.size())
+            ++_filled;
+        return _base + line * kLineSize;
+    }
+
+    void
+    reset() override
+    {
+        _head = 0;
+        _filled = 0;
+    }
+
+  private:
+    Addr _base;
+    std::uint64_t _lines;
+    double _pReuse;
+    std::vector<std::uint64_t> _ring;
+    std::size_t _head = 0;
+    std::size_t _filled = 0;
+};
+
+/** Hot/cold mixture: p_hot of references fall in the hot region. */
+class HotColdPattern : public Pattern
+{
+  public:
+    HotColdPattern(Addr base, std::uint64_t hot_bytes,
+                   std::uint64_t cold_bytes, double p_hot)
+        : _hot(base, hot_bytes),
+          _cold(base + (Addr{1} << 32), cold_bytes), _pHot(p_hot)
+    {}
+
+    Addr
+    next(Random &rng) override
+    {
+        return rng.chance(_pHot) ? _hot.next(rng) : _cold.next(rng);
+    }
+
+    void reset() override {}
+
+  private:
+    RandomPattern _hot;
+    RandomPattern _cold;
+    double _pHot;
+};
+
+/** Endless forward stream over a huge region; no reuse. */
+class ScanPattern : public Pattern
+{
+  public:
+    ScanPattern(Addr base, std::uint64_t region_bytes = Addr{8} << 20,
+                unsigned stride = kLineSize)
+        : _base(base), _region(region_bytes), _stride(stride)
+    {}
+
+    Addr
+    next(Random &) override
+    {
+        const Addr a = _base + _pos;
+        _pos += _stride;
+        if (_pos >= _region)
+            _pos = 0;  // region is sized so reuse exceeds any cache
+        return a;
+    }
+
+    void reset() override { _pos = 0; }
+
+  private:
+    Addr _base;
+    std::uint64_t _region;
+    unsigned _stride;
+    std::uint64_t _pos = 0;
+};
+
+/**
+ * Pointer-chase: a fixed full-period LCG permutation over the region's
+ * lines. Reuse distance equals the footprint (like LoopPattern) but
+ * successive references land on random pages, generating TLB misses.
+ */
+class ChasePattern : public Pattern
+{
+  public:
+    ChasePattern(Addr base, std::uint64_t footprint_bytes)
+        : _base(base), _lines(footprint_bytes / kLineSize)
+    {
+        // Full period modulo a power of two: c odd, a = 4k + 1.
+        slip_assert(isPowerOf2(_lines), "chase footprint must be 2^n");
+        _a = 1664525;       // classic Numerical-Recipes multiplier
+        _c = 1013904223;
+    }
+
+    Addr
+    next(Random &) override
+    {
+        _cur = (_a * _cur + _c) & (_lines - 1);
+        return _base + _cur * kLineSize;
+    }
+
+    void reset() override { _cur = 0; }
+
+  private:
+    Addr _base;
+    std::uint64_t _lines;
+    std::uint64_t _a, _c;
+    std::uint64_t _cur = 0;
+};
+
+/**
+ * The soplex forest.cc pattern (Figure 3): stream a segment of the
+ * array twice (the rotate loop then the use loop). Segment length is
+ * short_bytes with probability p_short, else long_bytes.
+ */
+class BimodalStreamPattern : public Pattern
+{
+  public:
+    BimodalStreamPattern(Addr base, std::uint64_t array_bytes,
+                         std::uint64_t short_bytes,
+                         std::uint64_t long_bytes, double p_short)
+        : _base(base), _array(array_bytes), _short(short_bytes),
+          _long(long_bytes), _pShort(p_short)
+    {}
+
+    Addr
+    next(Random &rng) override
+    {
+        const std::uint64_t seg_lines = _segLen / kLineSize;
+        if (_pos >= seg_lines * 2) {
+            // Start a new segment at a random array offset.
+            _segLen = rng.chance(_pShort) ? _short : _long;
+            const std::uint64_t max_start =
+                _array > _segLen ? _array - _segLen : 1;
+            _segStart = (rng.below(max_start) / kLineSize) * kLineSize;
+            _pos = 0;
+        }
+        // Two line-granular passes over [segStart, segStart + segLen).
+        const std::uint64_t line = _pos % (_segLen / kLineSize);
+        ++_pos;
+        return _base + _segStart + line * kLineSize;
+    }
+
+    void
+    reset() override
+    {
+        _pos = 0;
+        _segLen = 0;
+        _segStart = 0;
+    }
+
+  private:
+    Addr _base;
+    std::uint64_t _array;
+    std::uint64_t _short;
+    std::uint64_t _long;
+    double _pShort;
+
+    std::uint64_t _segStart = 0;
+    std::uint64_t _segLen = 0;  // forces a fresh segment on first use
+    std::uint64_t _pos = 0;
+};
+
+} // namespace slip
+
+#endif // SLIP_WORKLOADS_PATTERN_HH

@@ -1,0 +1,264 @@
+/**
+ * @file
+ * Tests for the analytic energy model (Equations 1-5) and the EOU's
+ * fixed-point datapath, including a property sweep checking the
+ * fixed-point argmin against the double-precision reference.
+ */
+
+#include <gtest/gtest.h>
+
+#include "slip/energy_model.hh"
+#include "slip/eou.hh"
+#include "util/random.hh"
+
+namespace slip {
+namespace {
+
+SlipEnergyModelParams
+l2Params(bool insertion = true)
+{
+    SlipEnergyModelParams p;
+    p.sublevelEnergy = {21.0, 33.0, 50.0};
+    p.sublevelWays = {4, 4, 8};
+    p.nextLevelEnergy = 133.0;  // L3 way-weighted mean
+    p.includeInsertion = insertion;
+    return p;
+}
+
+SlipEnergyModelParams
+l3Params()
+{
+    SlipEnergyModelParams p;
+    p.sublevelEnergy = {67.0, 113.0, 176.0};
+    p.sublevelWays = {4, 4, 8};
+    p.nextLevelEnergy = 10240.0;  // DRAM line energy
+    return p;
+}
+
+TEST(EnergyModelTest, ChunkEnergyIsWayWeightedMean)
+{
+    SlipEnergyModel m(l2Params());
+    const auto def = SlipPolicy::fromChunkEnds({3});
+    EXPECT_NEAR(m.chunkEnergy(def, 0),
+                (4 * 21 + 4 * 33 + 8 * 50) / 16.0, 1e-9);
+    const auto split = SlipPolicy::fromChunkEnds({1, 3});
+    EXPECT_DOUBLE_EQ(m.chunkEnergy(split, 0), 21.0);
+    EXPECT_NEAR(m.chunkEnergy(split, 1), (4 * 33 + 8 * 50) / 12.0,
+                1e-9);
+}
+
+TEST(EnergyModelTest, AbpCoefficientsAreAllMiss)
+{
+    SlipEnergyModel m(l2Params());
+    const auto alpha = m.coefficients(SlipPolicy{});
+    ASSERT_EQ(alpha.size(), 4u);
+    for (double a : alpha)
+        EXPECT_DOUBLE_EQ(a, 133.0);
+}
+
+TEST(EnergyModelTest, DefaultCoefficients)
+{
+    SlipEnergyModel m(l2Params());
+    const auto def = SlipPolicy::fromChunkEnds({3});
+    const auto alpha = m.coefficients(def);
+    const double mean = 38.5;
+    EXPECT_NEAR(alpha[0], mean, 1e-9);
+    EXPECT_NEAR(alpha[1], mean, 1e-9);
+    EXPECT_NEAR(alpha[2], mean, 1e-9);
+    // Miss bin: next-level access plus the refill write into the
+    // single chunk.
+    EXPECT_NEAR(alpha[3], 133.0 + mean, 1e-9);
+}
+
+TEST(EnergyModelTest, MovementTermsPerEquation2)
+{
+    SlipEnergyModel m(l2Params());
+    // {[0],[1,2]}: movement G0->G1 charged for every bin past chunk 0.
+    const auto p = SlipPolicy::fromChunkEnds({1, 3});
+    const auto alpha = m.coefficients(p);
+    const double e0 = 21.0;
+    const double e1 = (4 * 33 + 8 * 50) / 12.0;
+    EXPECT_NEAR(alpha[0], e0, 1e-9);
+    EXPECT_NEAR(alpha[1], e1 + (e0 + e1), 1e-9);
+    EXPECT_NEAR(alpha[2], e1 + (e0 + e1), 1e-9);
+    EXPECT_NEAR(alpha[3], 133.0 + e0 + (e0 + e1), 1e-9);
+}
+
+TEST(EnergyModelTest, StrictEquationsOmitInsertion)
+{
+    SlipEnergyModel strict(l2Params(false));
+    const auto def = SlipPolicy::fromChunkEnds({3});
+    const auto alpha = strict.coefficients(def);
+    EXPECT_NEAR(alpha[3], 133.0, 1e-9);  // no refill term
+}
+
+TEST(EnergyModelTest, EnergyIsDotProduct)
+{
+    SlipEnergyModel m(l2Params());
+    const auto p = SlipPolicy::fromChunkEnds({1});
+    const double probs[4] = {0.5, 0.0, 0.0, 0.5};
+    // bin0 served from chunk0 at 21; miss bin costs 133 + 21.
+    EXPECT_NEAR(m.energy(p, probs), 0.5 * 21 + 0.5 * (133 + 21), 1e-9);
+}
+
+// ---------------------------------------------------------------------
+// EOU decisions on canonical distributions
+// ---------------------------------------------------------------------
+
+TEST(EouTest, PureMissPrefersAbpAtL2)
+{
+    Eou eou(SlipEnergyModel(l2Params()), /*allow_abp=*/true);
+    const std::uint8_t bins[4] = {0, 0, 0, 15};
+    EXPECT_EQ(eou.optimize(bins), SlipPolicy::kAbpCode);
+}
+
+TEST(EouTest, PureMissWithoutAbpPrefersSmallestChunk)
+{
+    Eou eou(SlipEnergyModel(l2Params()), /*allow_abp=*/false);
+    const std::uint8_t bins[4] = {0, 0, 0, 15};
+    const auto &p = SlipPolicy::fromCode(3, eou.optimize(bins));
+    EXPECT_EQ(p.str(), "{[0]}");
+}
+
+TEST(EouTest, NearReusePrefersNearestChunkFirst)
+{
+    Eou eou(SlipEnergyModel(l2Params()), true);
+    const std::uint8_t bins[4] = {15, 0, 0, 0};
+    const auto &p = SlipPolicy::fromCode(3, eou.optimize(bins));
+    // All reuse fits sublevel 0, so every policy whose first chunk is
+    // [0] alone ties at 21 pJ/access; the tie breaks toward the most
+    // protective candidate {[0],[1],[2]} (see Eou::optimize).
+    EXPECT_EQ(p.chunkEnd(0), 1u);
+    EXPECT_EQ(p.str(), "{[0],[1],[2]}");
+}
+
+TEST(EouTest, Bin1ReusePrefersTwoSublevelChunk)
+{
+    Eou eou(SlipEnergyModel(l2Params()), true);
+    const std::uint8_t bins[4] = {0, 15, 0, 0};
+    const auto &p = SlipPolicy::fromCode(3, eou.optimize(bins));
+    // Chunk [0,1] serves bin-1 reuse at 27 pJ; {[0,1],[2]} ties and
+    // wins the tie-break.
+    EXPECT_EQ(p.chunkEnd(0), 2u);
+}
+
+TEST(EouTest, MixedShortAndMissPrefersPartialBypass)
+{
+    // The soplex rorig case (Section 2): ~50% short reuse, ~50% miss.
+    Eou eou(SlipEnergyModel(l2Params()), true);
+    const std::uint8_t bins[4] = {8, 0, 0, 8};
+    const auto &p = SlipPolicy::fromCode(3, eou.optimize(bins));
+    EXPECT_EQ(p.str(), "{[0]}");
+    EXPECT_EQ(p.classify(3), InsertClass::PartialBypass);
+}
+
+TEST(EouTest, L3RarelyBypassesWithAnyReuse)
+{
+    // At the L3 the miss cost is a DRAM line (10240 pJ), so even a
+    // small hit fraction keeps the line cached.
+    Eou eou(SlipEnergyModel(l3Params()), true);
+    const std::uint8_t bins[4] = {1, 0, 0, 14};
+    EXPECT_NE(eou.optimize(bins), SlipPolicy::kAbpCode);
+    const std::uint8_t dead[4] = {0, 0, 0, 15};
+    EXPECT_EQ(eou.optimize(dead), SlipPolicy::kAbpCode);
+}
+
+TEST(EouTest, UniformDistributionPrefersWholeCache)
+{
+    Eou eou(SlipEnergyModel(l3Params()), true);
+    const std::uint8_t bins[4] = {4, 4, 4, 4};
+    const auto &p = SlipPolicy::fromCode(3, eou.optimize(bins));
+    // With plentiful reuse across all capacities, the full cache is
+    // used (single- or multi-chunk); certainly no bypassing.
+    EXPECT_EQ(p.usedSublevels(), 3u);
+}
+
+TEST(EouTest, ZeroDistributionFallsBackToDefault)
+{
+    Eou eou(SlipEnergyModel(l2Params()), true);
+    const std::uint8_t bins[4] = {0, 0, 0, 0};
+    // No information: behave like a regular cache (Default SLIP).
+    EXPECT_EQ(eou.optimize(bins), SlipPolicy::defaultCode(3));
+}
+
+TEST(EouTest, OperationCountAndChoices)
+{
+    Eou eou(SlipEnergyModel(l2Params()), true);
+    const std::uint8_t bins[4] = {15, 0, 0, 0};
+    eou.optimize(bins);
+    eou.optimize(bins);
+    EXPECT_EQ(eou.operations(), 2u);
+    // Pure bin-0 ties resolve to {[0],[1],[2]} (code 7).
+    EXPECT_EQ(eou.choiceCounts()[7], 2u);
+    eou.resetStats();
+    EXPECT_EQ(eou.operations(), 0u);
+}
+
+/**
+ * Property sweep: the fixed-point EEU argmin must match the
+ * double-precision reference argmin (or tie within quantization
+ * error) on random distributions, for both levels and both pools.
+ */
+class EouPropertyTest
+    : public ::testing::TestWithParam<std::tuple<bool, bool>>
+{};
+
+TEST_P(EouPropertyTest, FixedPointMatchesReference)
+{
+    const bool use_l3 = std::get<0>(GetParam());
+    const bool abp = std::get<1>(GetParam());
+    SlipEnergyModel model(use_l3 ? l3Params() : l2Params());
+    Eou eou(model, abp);
+
+    Random rng(1234 + use_l3 * 2 + abp);
+    for (int iter = 0; iter < 2000; ++iter) {
+        std::uint8_t bins[4];
+        double probs[4];
+        for (int b = 0; b < 4; ++b) {
+            bins[b] = static_cast<std::uint8_t>(rng.below(16));
+            probs[b] = bins[b];
+        }
+        const std::uint8_t fx = eou.optimize(bins);
+        const std::uint8_t ref = eou.referenceOptimize(probs);
+        if (fx == ref)
+            continue;
+        // Accept ties within fixed-point quantization error.
+        const double e_fx =
+            model.energy(SlipPolicy::fromCode(3, fx), probs);
+        const double e_ref =
+            model.energy(SlipPolicy::fromCode(3, ref), probs);
+        EXPECT_NEAR(e_fx, e_ref, 0.3 * 15 * 4)
+            << "fx=" << int(fx) << " ref=" << int(ref);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Levels, EouPropertyTest,
+    ::testing::Combine(::testing::Bool(), ::testing::Bool()));
+
+/** Property: the chosen policy never has higher model energy than the
+ *  Default SLIP (the EOU can always fall back to Default). */
+TEST(EouPropertyExtra, NeverWorseThanDefault)
+{
+    SlipEnergyModel model(l2Params());
+    Eou eou(model, true);
+    Random rng(99);
+    const auto def =
+        SlipPolicy::fromCode(3, SlipPolicy::defaultCode(3));
+    for (int iter = 0; iter < 2000; ++iter) {
+        std::uint8_t bins[4];
+        double probs[4];
+        for (int b = 0; b < 4; ++b) {
+            bins[b] = static_cast<std::uint8_t>(rng.below(16));
+            probs[b] = bins[b];
+        }
+        const std::uint8_t code = eou.optimize(bins);
+        const double chosen =
+            model.energy(SlipPolicy::fromCode(3, code), probs);
+        const double fallback = model.energy(def, probs);
+        EXPECT_LE(chosen, fallback + 0.3 * 15 * 4);
+    }
+}
+
+} // namespace
+} // namespace slip

@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Tests for the NUCA baselines: NuRAPID (insert near, promote on hit,
+ * demote on displacement) and LRU-PEA (random-cluster insertion,
+ * one-step promotion, priority eviction of demoted lines).
+ */
+
+#include <gtest/gtest.h>
+
+#include "energy/energy_params.hh"
+#include "nuca/lru_pea.hh"
+#include "nuca/nurapid.hh"
+
+namespace slip {
+namespace {
+
+CacheLevelConfig
+l2Config()
+{
+    CacheLevelConfig cfg;
+    cfg.name = "L2";
+    cfg.sizeBytes = 256 * 1024;
+    cfg.ways = 16;
+    cfg.energy = tech45nm().l2;
+    cfg.slipMetadataEnabled = false;  // NUCA baselines carry no SLIP bits
+    return cfg;
+}
+
+TEST(NuRapidTest, InsertsIntoNearestDGroup)
+{
+    CacheLevel l2(l2Config());
+    NuRapidController ctrl(l2, kSlipL2);
+    std::vector<Eviction> evs;
+    ctrl.fill(0x40, false, PageCtx{}, evs);
+    const auto r = l2.peek(0x40);
+    ASSERT_TRUE(r.hit);
+    EXPECT_EQ(l2.topology().sublevelOf(r.way), 0u);
+}
+
+TEST(NuRapidTest, FillDemotesCascade)
+{
+    CacheLevel l2(l2Config());
+    NuRapidController ctrl(l2, kSlipL2);
+    std::vector<Eviction> evs;
+    // 5 fills into one set: the 5th demotes the LRU of d-group 0 into
+    // d-group 1 (one movement, no eviction).
+    for (unsigned i = 0; i < 5; ++i)
+        ctrl.fill(Addr(i) * 256, false, PageCtx{}, evs);
+    EXPECT_TRUE(evs.empty());
+    EXPECT_EQ(l2.stats().movements, 1u);
+    const auto r = l2.peek(0);
+    ASSERT_TRUE(r.hit);
+    EXPECT_EQ(l2.topology().sublevelOf(r.way), 1u);
+    // 17 total fills overflow the whole set: one line leaves.
+    for (unsigned i = 5; i < 17; ++i)
+        ctrl.fill(Addr(i) * 256, false, PageCtx{}, evs);
+    EXPECT_EQ(evs.size(), 1u);
+    l2.checkInvariants();
+}
+
+TEST(NuRapidTest, HitPromotesToDGroup0)
+{
+    CacheLevel l2(l2Config());
+    NuRapidController ctrl(l2, kSlipL2);
+    std::vector<Eviction> evs;
+    for (unsigned i = 0; i < 5; ++i)
+        ctrl.fill(Addr(i) * 256, false, PageCtx{}, evs);
+    // Line 0 now sits in d-group 1; a hit must bring it back to 0,
+    // swapping with the d-group-0 replacement candidate.
+    auto res = ctrl.access(0, false, PageCtx{}, AccessClass::Demand);
+    ASSERT_TRUE(res.hit);
+    const auto r = l2.peek(0);
+    ASSERT_TRUE(r.hit);
+    EXPECT_EQ(l2.topology().sublevelOf(r.way), 0u);
+    // The swap costs two movements (promotion + demotion).
+    EXPECT_EQ(l2.stats().movements, 1u + 2u);
+    l2.checkInvariants();
+}
+
+TEST(NuRapidTest, HitInDGroup0DoesNotMove)
+{
+    CacheLevel l2(l2Config());
+    NuRapidController ctrl(l2, kSlipL2);
+    std::vector<Eviction> evs;
+    ctrl.fill(0x40, false, PageCtx{}, evs);
+    ctrl.access(0x40, false, PageCtx{}, AccessClass::Demand);
+    EXPECT_EQ(l2.stats().movements, 0u);
+}
+
+TEST(NuRapidTest, StressInvariants)
+{
+    CacheLevel l2(l2Config());
+    NuRapidController ctrl(l2, kSlipL2);
+    Random rng(7);
+    std::vector<Eviction> evs;
+    for (int i = 0; i < 100000; ++i) {
+        const Addr line = rng.below(8192);
+        const auto r = l2.lookup(line, AccessClass::Demand);
+        if (r.hit) {
+            // access() redoes the lookup; use controller API directly.
+        }
+        if (!r.hit)
+            ctrl.fill(line, rng.chance(0.3), PageCtx{}, evs);
+        else
+            ctrl.access(line, false, PageCtx{}, AccessClass::Demand);
+        evs.clear();
+    }
+    l2.checkInvariants();
+    // NuRAPID moves lines aggressively.
+    EXPECT_GT(l2.stats().movements, 10000u);
+}
+
+TEST(LruPeaTest, InsertionClustersAreWeightedRandom)
+{
+    CacheLevel l2(l2Config());
+    LruPeaController ctrl(l2, kSlipL2, 3);
+    std::vector<Eviction> evs;
+    for (int i = 0; i < 8000; ++i)
+        ctrl.fill(Addr(i), false, PageCtx{}, evs), evs.clear();
+    const auto &ins = l2.stats().sublevelInsertions;
+    // Weighted 4/4/8 over 16 ways: expect roughly 25/25/50%.
+    const double total = ins[0] + ins[1] + ins[2];
+    EXPECT_NEAR(ins[0] / total, 0.25, 0.05);
+    EXPECT_NEAR(ins[1] / total, 0.25, 0.05);
+    EXPECT_NEAR(ins[2] / total, 0.50, 0.05);
+}
+
+TEST(LruPeaTest, PromotionIsOneStep)
+{
+    CacheLevel l2(l2Config());
+    LruPeaController ctrl(l2, kSlipL2, 3);
+    std::vector<Eviction> evs;
+    // Force a line into sublevel 2 by filling until one lands there.
+    Addr target = 0;
+    for (Addr a = 0;; a += 256) {
+        ctrl.fill(a, false, PageCtx{}, evs);
+        evs.clear();
+        const auto r = l2.peek(a);
+        if (r.hit && l2.topology().sublevelOf(r.way) == 2) {
+            target = a;
+            break;
+        }
+    }
+    ctrl.access(target, false, PageCtx{}, AccessClass::Demand);
+    const auto r = l2.peek(target);
+    ASSERT_TRUE(r.hit);
+    EXPECT_EQ(l2.topology().sublevelOf(r.way), 1u);  // one step closer
+    l2.checkInvariants();
+}
+
+TEST(LruPeaTest, DemotedLinesEvictedFirst)
+{
+    CacheLevel l2(l2Config());
+    LruPeaController ctrl(l2, kSlipL2, 3);
+    std::vector<Eviction> evs;
+    const unsigned set = 0;
+    // Fill sublevel 1 fully by hand.
+    for (unsigned w = 4; w < 8; ++w)
+        l2.installLine(set, w, Addr(w) * 256, false, PolicyPair{},
+                       InsertClass::Default);
+    // Mark way 6's line demoted; it must be chosen over the true LRU.
+    l2.lineAt(set, 6).demoted = true;
+    const unsigned victim =
+        l2.chooseVictim(set, l2.sublevelMask(1, 2), true);
+    EXPECT_EQ(victim, 6u);
+}
+
+TEST(LruPeaTest, StressInvariants)
+{
+    CacheLevel l2(l2Config());
+    LruPeaController ctrl(l2, kSlipL2, 3);
+    Random rng(13);
+    std::vector<Eviction> evs;
+    for (int i = 0; i < 100000; ++i) {
+        const Addr line = rng.below(8192);
+        if (l2.peek(line).hit)
+            ctrl.access(line, rng.chance(0.2), PageCtx{},
+                        AccessClass::Demand);
+        else
+            ctrl.fill(line, rng.chance(0.3), PageCtx{}, evs);
+        evs.clear();
+    }
+    l2.checkInvariants();
+    EXPECT_GT(l2.stats().movements, 1000u);
+}
+
+} // namespace
+} // namespace slip

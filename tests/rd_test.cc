@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Tests for the reuse-distance substrate: quantized distributions with
+ * halving, 16 b packing, the per-page metadata store, and time-based
+ * sampling statistics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/line.hh"
+#include "rd/metadata_store.hh"
+#include "rd/rd_distribution.hh"
+#include "rd/sampling.hh"
+
+namespace slip {
+namespace {
+
+TEST(RdDistributionTest, RecordAndRead)
+{
+    RdDistribution d(4);
+    d.record(0);
+    d.record(2);
+    d.record(2);
+    EXPECT_EQ(d.bin(0), 1);
+    EXPECT_EQ(d.bin(1), 0);
+    EXPECT_EQ(d.bin(2), 2);
+    EXPECT_EQ(d.total(), 3u);
+}
+
+TEST(RdDistributionTest, HalvesOnOverflow)
+{
+    RdDistribution d(4);
+    for (int i = 0; i < 15; ++i)
+        d.record(3);
+    d.record(0);
+    d.record(3);  // bin3 at 15 -> halve -> 7, +1 = 8
+    EXPECT_EQ(d.bin(3), 8);
+    EXPECT_EQ(d.bin(0), 0);  // 1 -> halved to 0
+}
+
+TEST(RdDistributionTest, PackUnpackRoundTrip)
+{
+    RdDistribution d(4);
+    for (int i = 0; i < 5; ++i)
+        d.record(0);
+    for (int i = 0; i < 12; ++i)
+        d.record(1);
+    d.record(3);
+    const std::uint16_t word = d.pack();
+    RdDistribution e(4);
+    e.unpack(word);
+    for (unsigned b = 0; b < kRdBins; ++b)
+        EXPECT_EQ(e.bin(b), d.bin(b));
+}
+
+TEST(RdDistributionTest, PackedFormatLayout)
+{
+    RdDistribution d(4);
+    d.record(0);
+    d.record(1);
+    d.record(1);
+    // bins [1, 2, 0, 0] -> nibbles little-endian: 0x0021.
+    EXPECT_EQ(d.pack(), 0x0021);
+}
+
+TEST(RdDistributionTest, StorageBudgetMatchesPaper)
+{
+    // 4 bits x 4 bins = 16 b per level, 32 b per page for two levels
+    // (Section 4.1).
+    RdDistribution d(4);
+    EXPECT_EQ(d.storageBits(), 16u);
+    MetadataStore store(4);
+    EXPECT_EQ(store.recordBits(), 32u);
+}
+
+TEST(RdDistributionTest, WidthSweep)
+{
+    for (unsigned bits = 2; bits <= 8; ++bits) {
+        RdDistribution d(bits);
+        const unsigned max = (1u << bits) - 1;
+        for (unsigned i = 0; i < max; ++i)
+            d.record(1);
+        EXPECT_EQ(d.bin(1), max);
+        d.record(1);
+        EXPECT_EQ(d.bin(1), max / 2 + 1);
+    }
+}
+
+TEST(MetadataStoreTest, PagesShareLines)
+{
+    MetadataStore store(4, Addr{1} << 44);
+    // 16 page records per 64 B line.
+    EXPECT_EQ(store.metadataLine(0), store.metadataLine(15));
+    EXPECT_NE(store.metadataLine(15), store.metadataLine(16));
+    EXPECT_EQ(store.metadataLine(16) - store.metadataLine(0), 1u);
+}
+
+TEST(MetadataStoreTest, PerPageIsolation)
+{
+    MetadataStore store(4);
+    store.page(10).dist[kSlipL2].record(0);
+    store.page(11).dist[kSlipL2].record(3);
+    EXPECT_EQ(store.page(10).dist[kSlipL2].bin(0), 1);
+    EXPECT_EQ(store.page(10).dist[kSlipL2].bin(3), 0);
+    EXPECT_EQ(store.page(11).dist[kSlipL2].bin(3), 1);
+    EXPECT_EQ(store.pagesTracked(), 2u);
+}
+
+TEST(MetadataStoreTest, LevelsIndependent)
+{
+    MetadataStore store(4);
+    store.page(5).dist[kSlipL2].record(1);
+    EXPECT_EQ(store.page(5).dist[kSlipL3].total(), 0u);
+}
+
+TEST(SamplingTest, DisabledNeverLeavesSampling)
+{
+    SamplingController s(16, 256, /*enabled=*/false);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_TRUE(s.transition(true));
+}
+
+TEST(SamplingTest, TransitionRates)
+{
+    SamplingController s(16, 256, true, 77);
+    int to_stable = 0;
+    const int trials = 64000;
+    for (int i = 0; i < trials; ++i)
+        to_stable += !s.transition(true);
+    EXPECT_NEAR(double(to_stable) / trials, 1.0 / 16, 0.01);
+
+    int to_sampling = 0;
+    for (int i = 0; i < trials; ++i)
+        to_sampling += s.transition(false);
+    EXPECT_NEAR(double(to_sampling) / trials, 1.0 / 256, 0.002);
+}
+
+TEST(SamplingTest, ExpectedSamplingFraction)
+{
+    SamplingController s(16, 256);
+    // Nsamp/(Nsamp+Nstab) ~ 6% of TLB misses fetch distribution data
+    // (Section 4.2).
+    EXPECT_NEAR(s.expectedSamplingFraction(), 0.0588, 0.001);
+    SamplingController always(16, 256, false);
+    EXPECT_DOUBLE_EQ(always.expectedSamplingFraction(), 1.0);
+}
+
+/**
+ * Steady-state property: simulating the two-state Markov chain, the
+ * fraction of misses spent sampling approaches Nstab^-1 /
+ * (Nstab^-1 + Nsamp^-1) = 16/(16+256).
+ */
+TEST(SamplingTest, SteadyStateFraction)
+{
+    SamplingController s(16, 256, true, 5);
+    bool sampling = true;
+    std::uint64_t in_sampling = 0;
+    const std::uint64_t steps = 400000;
+    for (std::uint64_t i = 0; i < steps; ++i) {
+        in_sampling += sampling;
+        sampling = s.transition(sampling);
+    }
+    EXPECT_NEAR(double(in_sampling) / steps, 16.0 / 272.0, 0.01);
+}
+
+} // namespace
+} // namespace slip

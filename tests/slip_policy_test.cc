@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Tests for the SLIP representation: enumeration, codes, chunk
+ * geometry, and Figure 14 classification.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "slip/slip_policy.hh"
+
+namespace slip {
+namespace {
+
+TEST(SlipPolicyTest, EnumerationCount)
+{
+    // 2^S policies for S sublevels (Section 3.1).
+    EXPECT_EQ(SlipPolicy::all(1).size(), 2u);
+    EXPECT_EQ(SlipPolicy::all(2).size(), 4u);
+    EXPECT_EQ(SlipPolicy::all(3).size(), 8u);
+    EXPECT_EQ(SlipPolicy::all(4).size(), 16u);
+}
+
+TEST(SlipPolicyTest, ThreeSublevelEnumerationMatchesPaper)
+{
+    // The paper's example list for a 3-way cache (footnote order not
+    // specified; we check set equality of renderings).
+    std::set<std::string> expected = {
+        "{}",          "{[0]}",        "{[0,1]}",     "{[0],[1]}",
+        "{[0,1,2]}",   "{[0,1],[2]}",  "{[0],[1,2]}", "{[0],[1],[2]}",
+    };
+    std::set<std::string> got;
+    for (const auto &p : SlipPolicy::all(3))
+        got.insert(p.str());
+    EXPECT_EQ(got, expected);
+}
+
+TEST(SlipPolicyTest, CodesRoundTrip)
+{
+    for (unsigned s = 1; s <= 4; ++s) {
+        const auto &pols = SlipPolicy::all(s);
+        for (std::size_t c = 0; c < pols.size(); ++c) {
+            EXPECT_EQ(pols[c].code(s), c);
+            EXPECT_EQ(SlipPolicy::fromCode(s, std::uint8_t(c)), pols[c]);
+        }
+    }
+}
+
+TEST(SlipPolicyTest, AbpAndDefaultCodes)
+{
+    EXPECT_TRUE(SlipPolicy::fromCode(3, SlipPolicy::kAbpCode)
+                    .isAllBypass());
+    const auto &def =
+        SlipPolicy::fromCode(3, SlipPolicy::defaultCode(3));
+    EXPECT_TRUE(def.isDefault(3));
+    EXPECT_EQ(def.str(), "{[0,1,2]}");
+    EXPECT_EQ(SlipPolicy::defaultCode(3), 4);
+}
+
+TEST(SlipPolicyTest, ChunkGeometry)
+{
+    const auto p = SlipPolicy::fromChunkEnds({1, 3});  // {[0],[1,2]}
+    EXPECT_EQ(p.numChunks(), 2u);
+    EXPECT_EQ(p.chunkBegin(0), 0u);
+    EXPECT_EQ(p.chunkEnd(0), 1u);
+    EXPECT_EQ(p.chunkBegin(1), 1u);
+    EXPECT_EQ(p.chunkEnd(1), 3u);
+    EXPECT_EQ(p.usedSublevels(), 3u);
+    EXPECT_EQ(p.chunkOfSublevel(0), 0);
+    EXPECT_EQ(p.chunkOfSublevel(1), 1);
+    EXPECT_EQ(p.chunkOfSublevel(2), 1);
+}
+
+TEST(SlipPolicyTest, PartialBypassChunkLookup)
+{
+    const auto p = SlipPolicy::fromChunkEnds({1});  // {[0]}
+    EXPECT_EQ(p.chunkOfSublevel(0), 0);
+    EXPECT_EQ(p.chunkOfSublevel(1), -1);
+    EXPECT_EQ(p.chunkOfSublevel(2), -1);
+    EXPECT_EQ(p.usedSublevels(), 1u);
+}
+
+TEST(SlipPolicyTest, Classification)
+{
+    using IC = InsertClass;
+    EXPECT_EQ(SlipPolicy{}.classify(3), IC::AllBypass);
+    EXPECT_EQ(SlipPolicy::fromChunkEnds({1}).classify(3),
+              IC::PartialBypass);
+    EXPECT_EQ(SlipPolicy::fromChunkEnds({1, 2}).classify(3),
+              IC::PartialBypass);
+    EXPECT_EQ(SlipPolicy::fromChunkEnds({3}).classify(3), IC::Default);
+    EXPECT_EQ(SlipPolicy::fromChunkEnds({1, 3}).classify(3), IC::Other);
+    EXPECT_EQ(SlipPolicy::fromChunkEnds({1, 2, 3}).classify(3),
+              IC::Other);
+}
+
+TEST(SlipPolicyTest, Rendering)
+{
+    EXPECT_EQ(SlipPolicy{}.str(), "{}");
+    EXPECT_EQ(SlipPolicy::fromChunkEnds({3}).str(), "{[0,1,2]}");
+    EXPECT_EQ(SlipPolicy::fromChunkEnds({1, 3}).str(), "{[0],[1,2]}");
+}
+
+/** Property: chunks partition exactly the prefix [0, usedSublevels). */
+TEST(SlipPolicyTest, ChunksPartitionPrefix)
+{
+    for (unsigned s = 1; s <= 4; ++s) {
+        for (const auto &p : SlipPolicy::all(s)) {
+            unsigned covered = 0;
+            for (unsigned c = 0; c < p.numChunks(); ++c) {
+                EXPECT_EQ(p.chunkBegin(c), covered);
+                EXPECT_GT(p.chunkEnd(c), p.chunkBegin(c));
+                covered = p.chunkEnd(c);
+            }
+            EXPECT_EQ(covered, p.usedSublevels());
+            EXPECT_LE(covered, s);
+        }
+    }
+}
+
+/** Property: displacement always moves to strictly farther sublevels,
+ *  which is what bounds SLIP cascades (slip_controller.hh). */
+TEST(SlipPolicyTest, NextChunkIsStrictlyFarther)
+{
+    for (const auto &p : SlipPolicy::all(3)) {
+        for (unsigned sl = 0; sl < p.usedSublevels(); ++sl) {
+            const int c = p.chunkOfSublevel(sl);
+            ASSERT_GE(c, 0);
+            if (unsigned(c) + 1 < p.numChunks()) {
+                EXPECT_GT(p.chunkBegin(c + 1), sl);
+            }
+        }
+    }
+}
+
+} // namespace
+} // namespace slip

@@ -1,0 +1,250 @@
+/**
+ * @file
+ * Parameterized sweeps across the full configuration space:
+ *
+ *  - every (policy x topology) combination holds the structural
+ *    invariants, conserves lines, and produces finite, positive energy;
+ *  - every benchmark of the suite runs under SLIP+ABP;
+ *  - the EOU fixed-point argmin is checked EXHAUSTIVELY against the
+ *    double-precision reference over all 16^4 possible 4-bit
+ *    distributions, for both levels and both candidate pools;
+ *  - CacheLevel mechanics hold across cache geometries.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/system.hh"
+#include "slip/eou.hh"
+#include "workloads/spec_suite.hh"
+
+namespace slip {
+namespace {
+
+// ---------------------------------------------------------------------
+// (policy x topology) sweep
+// ---------------------------------------------------------------------
+
+using PolicyTopo = std::tuple<PolicyKind, TopologyKind>;
+
+class PolicyTopologySweep : public ::testing::TestWithParam<PolicyTopo>
+{};
+
+TEST_P(PolicyTopologySweep, RunsCleanlyWithInvariants)
+{
+    SystemConfig cfg;
+    cfg.policy = std::get<0>(GetParam());
+    cfg.topology = std::get<1>(GetParam());
+    cfg.seed = 5;
+    System sys(cfg);
+    auto w = makeSpecWorkload("gcc");
+    sys.run({w.get()}, 80000, 20000);
+
+    sys.checkInvariants();
+    const auto l2 = sys.combinedL2Stats();
+    EXPECT_GT(l2.demandAccesses, 0u);
+    EXPECT_GT(sys.l2EnergyPj(), 0.0);
+    EXPECT_GT(sys.l3EnergyPj(), 0.0);
+    EXPECT_TRUE(std::isfinite(sys.totalCycles()));
+    EXPECT_GT(sys.totalCycles(), 0.0);
+    // Accounting identity: hits never exceed accesses; insertions
+    // never exceed misses (+ writeback fills).
+    EXPECT_LE(l2.demandHits, l2.demandAccesses);
+    EXPECT_LE(l2.insertions + l2.bypasses,
+              l2.demandMisses() + l2.metadataAccesses + 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCombos, PolicyTopologySweep,
+    ::testing::Combine(
+        ::testing::Values(PolicyKind::Baseline, PolicyKind::NuRapid,
+                          PolicyKind::LruPea, PolicyKind::Slip,
+                          PolicyKind::SlipAbp),
+        ::testing::Values(TopologyKind::HierBusWayInterleaved,
+                          TopologyKind::HierBusSetInterleaved,
+                          TopologyKind::HTree,
+                          TopologyKind::RingSlice)));
+
+// ---------------------------------------------------------------------
+// benchmark sweep
+// ---------------------------------------------------------------------
+
+class BenchmarkSweep : public ::testing::TestWithParam<std::string>
+{};
+
+TEST_P(BenchmarkSweep, SlipAbpRunsAndAccountsSanely)
+{
+    SystemConfig cfg;
+    cfg.policy = PolicyKind::SlipAbp;
+    System sys(cfg);
+    auto w = makeSpecWorkload(GetParam());
+    sys.run({w.get()}, 100000, 50000);
+
+    sys.checkInvariants();
+    const auto l2 = sys.combinedL2Stats();
+    const auto &l3 = sys.l3().stats();
+    // Traffic flows downhill: L3 sees no more demand than L2 produced
+    // (misses + writebacks + PTE walks).
+    EXPECT_LE(l3.demandAccesses,
+              l2.demandMisses() + l2.writebacks + l2.bypasses +
+                  sys.tlb(0).misses() * 2 + 1);
+    // Energy categories are all non-negative and sum to the total.
+    double sum = 0;
+    for (double e : l2.energyPj) {
+        EXPECT_GE(e, 0.0);
+        sum += e;
+    }
+    EXPECT_DOUBLE_EQ(sum, l2.totalEnergyPj());
+    // Insert classes partition the insert+bypass count.
+    std::uint64_t cls = 0;
+    for (auto c : l2.insertClass)
+        cls += c;
+    EXPECT_EQ(cls, l2.insertions + l2.bypasses);
+}
+
+INSTANTIATE_TEST_SUITE_P(Suite, BenchmarkSweep,
+                         ::testing::ValuesIn(specBenchmarks()));
+
+// ---------------------------------------------------------------------
+// exhaustive EOU verification
+// ---------------------------------------------------------------------
+
+struct EouCase
+{
+    bool l3;
+    bool abp;
+};
+
+class EouExhaustive : public ::testing::TestWithParam<std::tuple<bool, bool>>
+{};
+
+TEST_P(EouExhaustive, AllDistributionsMatchReference)
+{
+    const bool use_l3 = std::get<0>(GetParam());
+    const bool abp = std::get<1>(GetParam());
+
+    SlipEnergyModelParams p;
+    p.sublevelWays = {4, 4, 8};
+    if (use_l3) {
+        p.sublevelEnergy = {67.0, 113.0, 176.0};
+        p.nextLevelEnergy = 10240.0;
+    } else {
+        p.sublevelEnergy = {21.0, 33.0, 50.0};
+        p.nextLevelEnergy = 133.0;
+    }
+    SlipEnergyModel model(p);
+    Eou eou(model, abp);
+
+    // All 16^4 = 65536 possible 4-bit distributions.
+    const double tol = 0.3 * 15 * 4;  // quantization slack
+    for (unsigned word = 0; word < 65536; ++word) {
+        std::uint8_t bins[4];
+        double probs[4];
+        for (int b = 0; b < 4; ++b) {
+            bins[b] = (word >> (4 * b)) & 0xF;
+            probs[b] = bins[b];
+        }
+        const std::uint8_t fx = eou.optimize(bins);
+        if (word == 0) {
+            // Empty distribution: defined fallback, skip comparison.
+            ASSERT_EQ(fx, SlipPolicy::defaultCode(3));
+            continue;
+        }
+        const double e_fx =
+            model.energy(SlipPolicy::fromCode(3, fx), probs);
+        const std::uint8_t ref = eou.referenceOptimize(probs);
+        const double e_ref =
+            model.energy(SlipPolicy::fromCode(3, ref), probs);
+        ASSERT_LE(e_fx, e_ref + tol)
+            << "dist word 0x" << std::hex << word;
+        if (!abp) {
+            ASSERT_NE(fx, SlipPolicy::kAbpCode);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Pools, EouExhaustive,
+    ::testing::Combine(::testing::Bool(), ::testing::Bool()));
+
+// ---------------------------------------------------------------------
+// cache geometry sweep
+// ---------------------------------------------------------------------
+
+struct Geometry
+{
+    std::uint64_t kb;
+    unsigned ways;
+    std::array<unsigned, 3> slWays;
+    unsigned waysPerRow;
+};
+
+class GeometrySweep : public ::testing::TestWithParam<Geometry>
+{};
+
+TEST_P(GeometrySweep, MechanicsHoldAcrossGeometries)
+{
+    const Geometry g = GetParam();
+    CacheLevelConfig cfg;
+    cfg.sizeBytes = g.kb * 1024;
+    cfg.ways = g.ways;
+    cfg.sublevelWays = g.slWays;
+    cfg.waysPerRow = g.waysPerRow;
+    cfg.energy = tech45nm().l2;
+    CacheLevel level(cfg);
+
+    EXPECT_EQ(level.numLines() * kLineSize, cfg.sizeBytes);
+    EXPECT_EQ(level.sublevelCumLines(2), level.numLines());
+
+    // Fill-evict churn, then invariants.
+    BaselineController ctrl(level, kSlipL2);
+    Random rng(g.kb * 131 + g.ways);
+    std::vector<Eviction> evs;
+    for (int i = 0; i < 20000; ++i) {
+        const Addr line = rng.below(level.numLines() * 3);
+        const auto r = level.lookup(line, AccessClass::Demand);
+        if (r.hit)
+            level.recordHit(r.setIndex, r.way, false,
+                            AccessClass::Demand, false);
+        else
+            ctrl.fill(line, rng.chance(0.3), PageCtx{}, evs),
+                evs.clear();
+    }
+    level.checkInvariants();
+    EXPECT_GT(level.stats().demandHits, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GeometrySweep,
+    ::testing::Values(Geometry{64, 8, {2, 2, 4}, 2},
+                      Geometry{128, 16, {4, 4, 8}, 4},
+                      Geometry{256, 16, {4, 4, 8}, 4},
+                      Geometry{512, 8, {2, 2, 4}, 2},
+                      Geometry{2048, 16, {4, 4, 8}, 4},
+                      Geometry{4096, 16, {8, 4, 4}, 4}));
+
+// ---------------------------------------------------------------------
+// rd-bin-width x policy sweep at system level
+// ---------------------------------------------------------------------
+
+class BinWidthSweep : public ::testing::TestWithParam<unsigned>
+{};
+
+TEST_P(BinWidthSweep, SystemRunsAtEveryWidth)
+{
+    SystemConfig cfg;
+    cfg.policy = PolicyKind::SlipAbp;
+    cfg.rdBinBits = GetParam();
+    System sys(cfg);
+    auto w = makeSpecWorkload("milc");
+    sys.run({w.get()}, 60000, 30000);
+    sys.checkInvariants();
+    EXPECT_GT(sys.eouOperations(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, BinWidthSweep,
+                         ::testing::Values(2u, 3u, 4u, 5u, 6u, 8u));
+
+} // namespace
+} // namespace slip

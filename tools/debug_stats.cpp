@@ -1,0 +1,48 @@
+#include <cstdio>
+#include <string>
+#include "sim/system.hh"
+#include "workloads/spec_suite.hh"
+using namespace slip;
+
+static void dump(PolicyKind pk, const std::string& bench, uint64_t n) {
+  SystemConfig cfg; cfg.policy = pk;
+  System sys(cfg);
+  auto w = makeSpecWorkload(bench);
+  sys.run({w.get()}, n, n/4);
+  auto l2 = sys.combinedL2Stats();
+  auto& l3 = sys.l3().stats();
+  printf("== %s %s ==\n", policyName(pk), bench.c_str());
+  printf("L1 hits %.3f  TLB missrate %.4f\n",
+         double(sys.coreStats(0).l1Hits)/sys.coreStats(0).accesses,
+         sys.tlb(0).missRate());
+  auto pr = [](const char* name, const CacheLevelStats& s) {
+    printf("%s: acc %llu hit%% %.1f  metaAcc %llu metaHit%% %.1f  ins %llu byp %llu mov %llu wb %llu\n",
+      name, (unsigned long long)s.demandAccesses,
+      100.0*s.demandHits/std::max<uint64_t>(1,s.demandAccesses),
+      (unsigned long long)s.metadataAccesses,
+      100.0*s.metadataHits/std::max<uint64_t>(1,s.metadataAccesses),
+      (unsigned long long)s.insertions, (unsigned long long)s.bypasses,
+      (unsigned long long)s.movements, (unsigned long long)s.writebacks);
+    printf("   class ABP %llu PB %llu Def %llu Oth %llu | energy pJ: acc %.3g mov %.3g meta %.3g oth %.3g\n",
+      (unsigned long long)s.insertClass[0],(unsigned long long)s.insertClass[1],
+      (unsigned long long)s.insertClass[2],(unsigned long long)s.insertClass[3],
+      s.energyPj[0], s.energyPj[1], s.energyPj[2], s.energyPj[3]);
+    printf("   subl hits %llu %llu %llu  reuseHist %llu %llu %llu %llu\n",
+      (unsigned long long)s.sublevelHits[0],(unsigned long long)s.sublevelHits[1],(unsigned long long)s.sublevelHits[2],
+      (unsigned long long)s.reuseHistogram[0],(unsigned long long)s.reuseHistogram[1],
+      (unsigned long long)s.reuseHistogram[2],(unsigned long long)s.reuseHistogram[3]);
+  };
+  pr("L2", l2); pr("L3", l3);
+  printf("DRAM demand %llu meta %llu  EOUops %llu pages %zu\n\n",
+    (unsigned long long)sys.dram().demandAccesses(),
+    (unsigned long long)sys.dram().metadataAccesses(),
+    (unsigned long long)sys.eouOperations(), sys.pageTable().pagesTouched());
+}
+
+int main(int argc, char** argv) {
+  std::string bench = argc>1?argv[1]:"soplex";
+  uint64_t n = argc>2?strtoull(argv[2],nullptr,0):1000000;
+  dump(PolicyKind::Baseline, bench, n);
+  dump(PolicyKind::SlipAbp, bench, n);
+  return 0;
+}

@@ -1,0 +1,39 @@
+#include <cstdio>
+#include "sim/system.hh"
+#include "workloads/benchmark.hh"
+#include "slip/slip_policy.hh"
+using namespace slip;
+int main() {
+  SystemConfig cfg; cfg.policy = PolicyKind::SlipAbp;
+  System sys(cfg);
+  // single component: 8MB random
+  Workload w("rand", 0.3, 42);
+  w.addPattern(std::make_unique<RandomPattern>(Addr{1}<<34, 8ull<<20));
+  w.addPhase({1.0}, 1000000);
+  sys.run({&w}, 2000000, 1000000);
+  // inspect a few page distributions
+  int shown = 0;
+  for (Addr p = (Addr{1}<<34)>>12; shown < 8; p += 37, ++shown) {
+    auto& md = sys.metadataStore().page(p);
+    auto& pte = sys.pageTable().pte(p);
+    printf("page %llx L2[%u %u %u %u] L3[%u %u %u %u] samp %d polL2 %s polL3 %s upd %u\n",
+      (unsigned long long)p,
+      md.dist[0].bin(0), md.dist[0].bin(1), md.dist[0].bin(2), md.dist[0].bin(3),
+      md.dist[1].bin(0), md.dist[1].bin(1), md.dist[1].bin(2), md.dist[1].bin(3),
+      (int)pte.sampling,
+      SlipPolicy::fromCode(3, pte.policies.code[0]).str().c_str(),
+      SlipPolicy::fromCode(3, pte.policies.code[1]).str().c_str(), pte.updates);
+  }
+  auto& l3 = sys.l3().stats();
+  printf("L3 hit%% %.1f  ins ABP %llu PB %llu Def %llu\n",
+    100.0*l3.demandHits/l3.demandAccesses,
+    (unsigned long long)l3.insertClass[0], (unsigned long long)l3.insertClass[1],
+    (unsigned long long)l3.insertClass[2]);
+  for (auto [tag, eou] : {std::pair{"EOUL2", sys.eouL2()}, {"EOUL3", sys.eouL3()}}) {
+    printf("%s:", tag);
+    for (size_t c = 0; c < eou->choiceCounts().size(); ++c)
+      printf(" %zu=%llu", c, (unsigned long long)eou->choiceCounts()[c]);
+    printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,31 @@
+#include <cstdio>
+#include "sim/system.hh"
+#include "workloads/spec_suite.hh"
+#include "slip/slip_policy.hh"
+using namespace slip;
+int main() {
+  SystemConfig cfg; cfg.policy = PolicyKind::Slip;
+  System sys(cfg);
+  auto w = makeSpecWorkload("gemsFDTD");
+  sys.run({w.get()}, 2000000, 1000000);
+  // component regions: idx1 = bimodal (base (2)<<34), idx0 hot, idx3 L3loop
+  struct Reg { const char* name; Addr base; } regs[] = {
+    {"hot", Addr{1}<<34}, {"mid", Addr{2}<<34},
+    {"l3loop", Addr{3}<<34}, {"scan", Addr{4}<<34}};
+  for (auto& r : regs) {
+    printf("-- %s --\n", r.name);
+    for (int i = 0; i < 3; ++i) {
+      Addr p = (r.base>>12) + i;
+      auto& md = sys.metadataStore().page(p);
+      auto& pte = sys.pageTable().pte(p);
+      printf("  pg+%3d L2[%2u %2u %2u %2u] L3[%2u %2u %2u %2u] samp %d polL2 %-10s polL3 %-10s upd %u\n",
+        i*13,
+        md.dist[0].bin(0), md.dist[0].bin(1), md.dist[0].bin(2), md.dist[0].bin(3),
+        md.dist[1].bin(0), md.dist[1].bin(1), md.dist[1].bin(2), md.dist[1].bin(3),
+        (int)pte.sampling,
+        SlipPolicy::fromCode(3, pte.policies.code[0]).str().c_str(),
+        SlipPolicy::fromCode(3, pte.policies.code[1]).str().c_str(), pte.updates);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,43 @@
+#include <cstdio>
+#include <string>
+#include "sim/system.hh"
+#include "slip/slip_policy.hh"
+#include "workloads/spec_suite.hh"
+using namespace slip;
+int main(int argc, char** argv) {
+  std::string bench = argc>1?argv[1]:"soplex";
+  uint64_t n = argc>2?strtoull(argv[2],nullptr,0):1500000;
+  for (PolicyKind pk : {PolicyKind::Slip, PolicyKind::SlipAbp}) {
+    SystemConfig cfg; cfg.policy = pk;
+    System sys(cfg);
+    auto w = makeSpecWorkload(bench);
+    sys.run({w.get()}, n, n/2);
+    printf("== %s %s ==\n", policyName(pk), bench.c_str());
+    // report insert class + sublevel hits
+    auto l2 = sys.combinedL2Stats(); auto& l3 = sys.l3().stats();
+    printf("L2 ins: ABP %llu PB %llu Def %llu Oth %llu | SLhits %llu %llu %llu | hits%% %.1f\n",
+      (unsigned long long)l2.insertClass[0],(unsigned long long)l2.insertClass[1],
+      (unsigned long long)l2.insertClass[2],(unsigned long long)l2.insertClass[3],
+      (unsigned long long)l2.sublevelHits[0],(unsigned long long)l2.sublevelHits[1],(unsigned long long)l2.sublevelHits[2],
+      100.0*l2.demandHits/l2.demandAccesses);
+    printf("L3 ins: ABP %llu PB %llu Def %llu Oth %llu | SLhits %llu %llu %llu | hits%% %.1f\n",
+      (unsigned long long)l3.insertClass[0],(unsigned long long)l3.insertClass[1],
+      (unsigned long long)l3.insertClass[2],(unsigned long long)l3.insertClass[3],
+      (unsigned long long)l3.sublevelHits[0],(unsigned long long)l3.sublevelHits[1],(unsigned long long)l3.sublevelHits[2],
+      100.0*l3.demandHits/l3.demandAccesses);
+    printf("L2 insSL %llu %llu %llu | L3 insSL %llu %llu %llu\n",
+      (unsigned long long)l2.sublevelInsertions[0],(unsigned long long)l2.sublevelInsertions[1],(unsigned long long)l2.sublevelInsertions[2],
+      (unsigned long long)l3.sublevelInsertions[0],(unsigned long long)l3.sublevelInsertions[1],(unsigned long long)l3.sublevelInsertions[2]);
+    for (auto [tag, eou] : {std::pair{"EOUL2", sys.eouL2()}, {"EOUL3", sys.eouL3()}}) {
+      printf("%s choices:", tag);
+      for (size_t c = 0; c < eou->choiceCounts().size(); ++c)
+        printf(" %s=%llu", SlipPolicy::fromCode(3, c).str().c_str(),
+               (unsigned long long)eou->choiceCounts()[c]);
+      printf("\n");
+    }
+    printf("DRAM rd %llu wr %llu meta %llu\n",
+      (unsigned long long)sys.dram().reads(), (unsigned long long)sys.dram().writes(),
+      (unsigned long long)sys.dram().metadataAccesses());
+  }
+  return 0;
+}

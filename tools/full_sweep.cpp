@@ -1,0 +1,44 @@
+#include <cstdio>
+#include <string>
+#include "sim/system.hh"
+#include "workloads/spec_suite.hh"
+using namespace slip;
+int main(int argc, char** argv) {
+  uint64_t n = argc>1?strtoull(argv[1],nullptr,0):1500000;
+  printf("%-10s | %6s %6s | %6s %6s | %7s %7s | %6s %6s | %5s %5s\n",
+    "bench","S.L2","SA.L2","S.L3","SA.L3","SA.spd","SA.dram","NR.L2","LP.L2","ABP2","ABP3");
+  double aSL2=0,aSAL2=0,aSL3=0,aSAL3=0,aspd=0,adram=0,aNR=0,aLP=0;
+  int cnt=0;
+  for (auto& bench : specBenchmarks()) {
+    double vals[5][6];
+    int pi=0;
+    double abp2=0, abp3=0;
+    for (PolicyKind pk : {PolicyKind::Baseline, PolicyKind::NuRapid, PolicyKind::LruPea,
+                          PolicyKind::Slip, PolicyKind::SlipAbp}) {
+      SystemConfig cfg; cfg.policy = pk;
+      System sys(cfg);
+      auto w = makeSpecWorkload(bench);
+      sys.run({w.get()}, n, n*3/4);
+      vals[pi][0]=sys.l2EnergyPj(); vals[pi][1]=sys.l3EnergyPj();
+      vals[pi][2]=sys.totalCycles(); vals[pi][3]=sys.dram().totalTrafficLines();
+      if (pk==PolicyKind::SlipAbp) {
+        auto l2=sys.combinedL2Stats(); auto& l3=sys.l3().stats();
+        abp2=double(l2.insertClass[0])/(l2.insertions+l2.bypasses);
+        abp3=double(l3.insertClass[0])/(l3.insertions+l3.bypasses);
+      }
+      pi++;
+    }
+    auto sav=[&](int p,int m){return 100*(1-vals[p][m]/vals[0][m]);};
+    printf("%-10s | %5.1f%% %5.1f%% | %5.1f%% %5.1f%% | %+6.2f%% %+6.2f%% | %5.0f%% %5.0f%% | %4.0f%% %4.0f%%\n",
+      bench.c_str(), sav(3,0), sav(4,0), sav(3,1), sav(4,1),
+      100*(vals[0][2]/vals[4][2]-1), 100*(vals[4][3]/vals[0][3]-1),
+      sav(1,0), sav(2,0), 100*abp2, 100*abp3);
+    aSL2+=sav(3,0); aSAL2+=sav(4,0); aSL3+=sav(3,1); aSAL3+=sav(4,1);
+    aspd+=100*(vals[0][2]/vals[4][2]-1); adram+=100*(vals[4][3]/vals[0][3]-1);
+    aNR+=sav(1,0); aLP+=sav(2,0); cnt++;
+  }
+  printf("%-10s | %5.1f%% %5.1f%% | %5.1f%% %5.1f%% | %+6.2f%% %+6.2f%% | %5.0f%% %5.0f%%\n",
+    "AVERAGE", aSL2/cnt, aSAL2/cnt, aSL3/cnt, aSAL3/cnt, aspd/cnt, adram/cnt, aNR/cnt, aLP/cnt);
+  printf("paper:     | 21%%  35%%  | 13%%  22%%  | +0.75%% -2.2%% | -84%% -79%%\n");
+  return 0;
+}

@@ -1,0 +1,30 @@
+#include <cstdio>
+#include <string>
+#include "sim/system.hh"
+#include "workloads/spec_suite.hh"
+using namespace slip;
+int main(int argc, char** argv) {
+  std::string bench = argc>1?argv[1]:"soplex";
+  uint64_t n = argc>2?strtoull(argv[2],nullptr,0):2000000;
+  double baseL2=0, baseL3=0, baseCyc=0, baseDram=0;
+  for (PolicyKind pk : {PolicyKind::Baseline, PolicyKind::NuRapid, PolicyKind::LruPea,
+                        PolicyKind::Slip, PolicyKind::SlipAbp}) {
+    SystemConfig cfg; cfg.policy = pk;
+    System sys(cfg);
+    auto w = makeSpecWorkload(bench);
+    sys.run({w.get()}, n, n/2);
+    double l2 = sys.l2EnergyPj(), l3 = sys.l3EnergyPj();
+    double cyc = sys.totalCycles();
+    double dram = sys.dram().totalTrafficLines();
+    auto l2s = sys.combinedL2Stats();
+    auto& l3s = sys.l3().stats();
+    if (pk==PolicyKind::Baseline) { baseL2=l2; baseL3=l3; baseCyc=cyc; baseDram=dram; }
+    printf("%-9s L2sav %+6.1f%%  L3sav %+6.1f%%  speedup %+6.2f%%  dram %+5.2f%%  L2mov %llu L3mov %llu  SL0frac L2 %.2f L3 %.2f\n",
+      policyName(pk), 100*(1-l2/baseL2), 100*(1-l3/baseL3),
+      100*(baseCyc/cyc-1), 100*(dram/baseDram-1),
+      (unsigned long long)l2s.movements, (unsigned long long)l3s.movements,
+      double(l2s.sublevelHits[0])/std::max<uint64_t>(1,l2s.sublevelHits[0]+l2s.sublevelHits[1]+l2s.sublevelHits[2]),
+      double(l3s.sublevelHits[0])/std::max<uint64_t>(1,l3s.sublevelHits[0]+l3s.sublevelHits[1]+l3s.sublevelHits[2]));
+  }
+  return 0;
+}

@@ -1,0 +1,37 @@
+#include <cstdio>
+#include <map>
+#include "sim/system.hh"
+#include "workloads/pattern.hh"
+#include "workloads/benchmark.hh"
+using namespace slip;
+int main() {
+  for (PolicyKind pk : {PolicyKind::Baseline, PolicyKind::SlipAbp}) {
+    SystemConfig cfg; cfg.policy = pk;
+    System sys(cfg);
+    Workload w("scan", 0.5, 7);
+    w.addPattern(std::make_unique<ScanPattern>(Addr{1}<<34, 3ull<<20));
+    w.addPhase({1.0}, 1000000);
+    sys.run({&w}, 800000, 400000);
+    auto l2 = sys.combinedL2Stats(); auto& l3 = sys.l3().stats();
+    printf("  L1hit %llu | L2 acc %llu hits %llu | L3 acc %llu hits %llu\n",
+      (unsigned long long)sys.coreStats(0).l1Hits,
+      (unsigned long long)l2.demandAccesses,(unsigned long long)l2.demandHits,
+      (unsigned long long)l3.demandAccesses,(unsigned long long)l3.demandHits);
+    // occupancy + tag sample of L3
+    uint64_t valid=0; std::map<unsigned long long,int> regions;
+    for (unsigned st=0; st<sys.l3().numSets(); ++st)
+      for (unsigned wy=0; wy<sys.l3().numWays(); ++wy) {
+        auto& ln = sys.l3().lineAt(st,wy);
+        if (ln.valid) { valid++; regions[(unsigned long long)(ln.tag>>28)]++; }
+      }
+    printf("  L3 valid %llu regions:", (unsigned long long)valid);
+    for (auto& kv : regions) printf(" [%llx]=%d", kv.first, kv.second);
+    printf("\n");
+    printf("%s: L2 ins %llu byp %llu wbout %llu | L3 ins %llu byp %llu wbout %llu | DRAM rd %llu wr %llu\n",
+      policyName(pk),
+      (unsigned long long)l2.insertions,(unsigned long long)l2.bypasses,(unsigned long long)l2.writebacks,
+      (unsigned long long)l3.insertions,(unsigned long long)l3.bypasses,(unsigned long long)l3.writebacks,
+      (unsigned long long)sys.dram().reads(),(unsigned long long)sys.dram().writes());
+  }
+  return 0;
+}
