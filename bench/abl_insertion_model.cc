@@ -10,13 +10,31 @@
 
 #include <cstdio>
 
-#include "bench_common.hh"
+#include "bench_registry.hh"
 
 using namespace slip;
 using namespace slip::bench;
 
+namespace {
+
+void
+plan(std::vector<RunSpec> &out)
+{
+    SweepOptions with;
+    SweepOptions without = with;
+    without.eouIncludeInsertion = false;
+    for (const auto &benchn : specBenchmarks()) {
+        out.push_back(
+            RunSpec::single(benchn, PolicyKind::Baseline, with));
+        out.push_back(
+            RunSpec::single(benchn, PolicyKind::SlipAbp, with));
+        out.push_back(
+            RunSpec::single(benchn, PolicyKind::SlipAbp, without));
+    }
+}
+
 int
-main()
+render()
 {
     SweepOptions with;
     SweepOptions without = with;
@@ -62,3 +80,9 @@ main()
     std::fputs(t.render().c_str(), stdout);
     return 0;
 }
+
+const BenchFigureRegistrar reg{
+    {"abl_insertion_model",
+     "Ablation: EOU refill-write term (SLIP+ABP)", &plan, &render}};
+
+} // namespace

@@ -9,13 +9,29 @@
 
 #include <cstdio>
 
-#include "bench_common.hh"
+#include "bench_registry.hh"
 
 using namespace slip;
 using namespace slip::bench;
 
+namespace {
+
+void
+plan(std::vector<RunSpec> &out)
+{
+    SweepOptions lru;
+    SweepOptions rrip = lru;
+    rrip.repl = ReplKind::Rrip;
+    rrip.randomSublevelVictim = true;
+    for (const auto &benchn : specBenchmarks())
+        for (const SweepOptions *o : {&lru, &rrip})
+            for (PolicyKind pk :
+                 {PolicyKind::Baseline, PolicyKind::SlipAbp})
+                out.push_back(RunSpec::single(benchn, pk, *o));
+}
+
 int
-main()
+render()
 {
     SweepOptions lru;
     SweepOptions rrip = lru;
@@ -56,3 +72,9 @@ main()
     std::fputs(t.render().c_str(), stdout);
     return 0;
 }
+
+const BenchFigureRegistrar reg{
+    {"abl_replacement",
+     "Ablation: replacement policy under SLIP+ABP", &plan, &render}};
+
+} // namespace

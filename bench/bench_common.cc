@@ -2,241 +2,63 @@
 
 #include <cstdio>
 #include <cstdlib>
-#include <filesystem>
-#include <fstream>
-#include <sstream>
-#include <sys/stat.h>
+#include <memory>
+#include <mutex>
+
+#include "util/logging.hh"
 
 namespace slip {
 namespace bench {
 
 namespace {
 
-std::uint64_t
-envU64(const char *name, std::uint64_t fallback)
-{
-    const char *v = std::getenv(name);
-    return v ? std::strtoull(v, nullptr, 0) : fallback;
-}
+std::mutex g_runner_mu;
+std::unique_ptr<SweepRunner> g_runner;
+unsigned g_configured_jobs = 0;  // 0 = not configured
 
-std::string
-cacheDir()
+unsigned
+defaultJobs()
 {
-    const char *v = std::getenv("SLIP_BENCH_CACHE");
-    return v ? v : "/tmp/slip_bench_cache";
-}
-
-// -- flat (de)serialization of RunResult ------------------------------
-
-void
-putStats(std::ostream &os, const char *prefix, const CacheLevelStats &s)
-{
-    os << prefix << ".acc " << s.demandAccesses << "\n";
-    os << prefix << ".hit " << s.demandHits << "\n";
-    os << prefix << ".macc " << s.metadataAccesses << "\n";
-    os << prefix << ".mhit " << s.metadataHits << "\n";
-    for (unsigned i = 0; i < kNumSublevels; ++i) {
-        os << prefix << ".slh" << i << " " << s.sublevelHits[i] << "\n";
-        os << prefix << ".sli" << i << " " << s.sublevelInsertions[i]
-           << "\n";
-    }
-    os << prefix << ".ins " << s.insertions << "\n";
-    os << prefix << ".byp " << s.bypasses << "\n";
-    for (unsigned i = 0; i < s.insertClass.size(); ++i)
-        os << prefix << ".ic" << i << " " << s.insertClass[i] << "\n";
-    os << prefix << ".mov " << s.movements << "\n";
-    os << prefix << ".wb " << s.writebacks << "\n";
-    for (unsigned i = 0; i < 4; ++i)
-        os << prefix << ".rh" << i << " " << s.reuseHistogram[i] << "\n";
-    for (unsigned i = 0; i < s.energyPj.size(); ++i)
-        os << prefix << ".e" << i << " " << s.energyPj[i] << "\n";
-    os << prefix << ".pbc " << s.portBusyCycles << "\n";
-}
-
-CacheLevelStats
-getStats(const std::map<std::string, double> &kv, const std::string &p)
-{
-    auto g = [&](const std::string &k) {
-        auto it = kv.find(p + "." + k);
-        return it == kv.end() ? 0.0 : it->second;
-    };
-    CacheLevelStats s;
-    s.demandAccesses = std::uint64_t(g("acc"));
-    s.demandHits = std::uint64_t(g("hit"));
-    s.metadataAccesses = std::uint64_t(g("macc"));
-    s.metadataHits = std::uint64_t(g("mhit"));
-    for (unsigned i = 0; i < kNumSublevels; ++i) {
-        s.sublevelHits[i] = std::uint64_t(g("slh" + std::to_string(i)));
-        s.sublevelInsertions[i] =
-            std::uint64_t(g("sli" + std::to_string(i)));
-    }
-    s.insertions = std::uint64_t(g("ins"));
-    s.bypasses = std::uint64_t(g("byp"));
-    for (unsigned i = 0; i < s.insertClass.size(); ++i)
-        s.insertClass[i] = std::uint64_t(g("ic" + std::to_string(i)));
-    s.movements = std::uint64_t(g("mov"));
-    s.writebacks = std::uint64_t(g("wb"));
-    for (unsigned i = 0; i < 4; ++i)
-        s.reuseHistogram[i] = std::uint64_t(g("rh" + std::to_string(i)));
-    for (unsigned i = 0; i < s.energyPj.size(); ++i)
-        s.energyPj[i] = g("e" + std::to_string(i));
-    s.portBusyCycles = Cycles(g("pbc"));
-    return s;
-}
-
-void
-saveResult(const std::string &path, const RunResult &r)
-{
-    std::filesystem::create_directories(cacheDir());
-    std::ofstream os(path + ".tmp");
-    os.precision(17);
-    putStats(os, "l2", r.l2);
-    putStats(os, "l3", r.l3);
-    os << "l2pj " << r.l2EnergyPj << "\n";
-    os << "l3pj " << r.l3EnergyPj << "\n";
-    os << "l1pj " << r.l1EnergyPj << "\n";
-    os << "fullpj " << r.fullSystemPj << "\n";
-    os << "cycles " << r.cycles << "\n";
-    os << "instr " << r.instructions << "\n";
-    os << "dramr " << r.dramReads << "\n";
-    os << "dramw " << r.dramWrites << "\n";
-    os << "dramm " << r.dramMetaAccesses << "\n";
-    os << "dramt " << r.dramTrafficLines << "\n";
-    os << "drampj " << r.dramEnergyPj << "\n";
-    os << "tlbm " << r.tlbMisses << "\n";
-    os << "eou " << r.eouOps << "\n";
-    os.close();
-    std::filesystem::rename(path + ".tmp", path);
-}
-
-bool
-loadResult(const std::string &path, RunResult &r)
-{
-    std::ifstream is(path);
-    if (!is)
-        return false;
-    std::map<std::string, double> kv;
-    std::string k;
-    double v;
-    while (is >> k >> v)
-        kv[k] = v;
-    if (kv.empty())
-        return false;
-    r.l2 = getStats(kv, "l2");
-    r.l3 = getStats(kv, "l3");
-    auto g = [&](const char *key) {
-        auto it = kv.find(key);
-        return it == kv.end() ? 0.0 : it->second;
-    };
-    r.l2EnergyPj = g("l2pj");
-    r.l3EnergyPj = g("l3pj");
-    r.l1EnergyPj = g("l1pj");
-    r.fullSystemPj = g("fullpj");
-    r.cycles = g("cycles");
-    r.instructions = g("instr");
-    r.dramReads = g("dramr");
-    r.dramWrites = g("dramw");
-    r.dramMetaAccesses = g("dramm");
-    r.dramTrafficLines = g("dramt");
-    r.dramEnergyPj = g("drampj");
-    r.tlbMisses = g("tlbm");
-    r.eouOps = g("eou");
-    return true;
-}
-
-RunResult
-extract(System &sys)
-{
-    RunResult r;
-    r.l2 = sys.combinedL2Stats();
-    r.l3 = sys.l3().stats();
-    r.l2EnergyPj = sys.l2EnergyPj();
-    r.l3EnergyPj = sys.l3EnergyPj();
-    r.l1EnergyPj = sys.l1EnergyPj();
-    r.fullSystemPj = sys.fullSystemEnergyPj();
-    r.cycles = sys.totalCycles();
-    r.instructions = sys.instructions();
-    r.dramReads = double(sys.dram().reads());
-    r.dramWrites = double(sys.dram().writes());
-    r.dramMetaAccesses = double(sys.dram().metadataAccesses());
-    r.dramTrafficLines = sys.dram().totalTrafficLines();
-    r.dramEnergyPj = sys.dram().energyPj();
-    for (unsigned c = 0; c < sys.numCores(); ++c)
-        r.tlbMisses += double(sys.tlb(c).misses());
-    r.eouOps = double(sys.eouOperations());
-    return r;
-}
-
-SystemConfig
-makeConfig(PolicyKind policy, const SweepOptions &opts, unsigned cores)
-{
-    SystemConfig cfg;
-    cfg.policy = policy;
-    cfg.tech = opts.tech;
-    cfg.topology = opts.topology;
-    cfg.samplingMode = opts.samplingMode;
-    cfg.rdBinBits = opts.rdBinBits;
-    cfg.eouIncludeInsertion = opts.eouIncludeInsertion;
-    cfg.repl = opts.repl;
-    cfg.randomSublevelVictim = opts.randomSublevelVictim;
-    cfg.numCores = cores;
-    return cfg;
+    if (const char *v = std::getenv("SLIP_BENCH_JOBS"))
+        return unsigned(std::strtoul(v, nullptr, 0));
+    return 0;  // SweepRunner resolves 0 to hardware_concurrency
 }
 
 } // namespace
 
-SweepOptions::SweepOptions() : tech(tech45nm())
+SweepRunner &
+sweepRunner()
 {
-    refs = envU64("SLIP_BENCH_REFS", 1'500'000);
-    warmup = envU64("SLIP_BENCH_WARMUP", refs);
+    std::lock_guard<std::mutex> lock(g_runner_mu);
+    if (!g_runner)
+        g_runner = std::make_unique<SweepRunner>(
+            g_configured_jobs ? g_configured_jobs : defaultJobs());
+    return *g_runner;
 }
 
-std::string
-SweepOptions::key() const
+void
+configureSweepRunner(unsigned jobs)
 {
-    std::ostringstream os;
-    os << "v5_r" << refs << "_w" << warmup << "_" << tech.name << "_t"
-       << int(topology) << "_s" << int(samplingMode) << "_b"
-       << rdBinBits << "_i" << eouIncludeInsertion << "_p" << int(repl)
-       << "_v" << randomSublevelVictim;
-    return os.str();
+    std::lock_guard<std::mutex> lock(g_runner_mu);
+    if (g_runner && g_runner->jobs() != jobs)
+        fatal("sweep runner already running with %u jobs, cannot "
+              "reconfigure to %u",
+              g_runner->jobs(), jobs);
+    g_configured_jobs = jobs;
 }
 
 RunResult
 runOne(const std::string &benchmark, PolicyKind policy,
        const SweepOptions &opts)
 {
-    const std::string path = cacheDir() + "/" + benchmark + "_" +
-                             policyName(policy) + "_" + opts.key();
-    RunResult r;
-    if (loadResult(path, r))
-        return r;
-
-    System sys(makeConfig(policy, opts, 1));
-    auto w = makeSpecWorkload(benchmark);
-    sys.run({w.get()}, opts.refs, opts.warmup);
-    r = extract(sys);
-    saveResult(path, r);
-    return r;
+    return sweepRunner().run(RunSpec::single(benchmark, policy, opts));
 }
 
 RunResult
 runMix(const std::string &a, const std::string &b, PolicyKind policy,
        const SweepOptions &opts)
 {
-    const std::string path = cacheDir() + "/mix_" + a + "+" + b + "_" +
-                             policyName(policy) + "_" + opts.key();
-    RunResult r;
-    if (loadResult(path, r))
-        return r;
-
-    System sys(makeConfig(policy, opts, 2));
-    auto s0 = makeMixSource(a, 0);
-    auto s1 = makeMixSource(b, 1);
-    sys.run({s0.get(), s1.get()}, opts.refs, opts.warmup);
-    r = extract(sys);
-    saveResult(path, r);
-    return r;
+    return sweepRunner().run(RunSpec::mix(a, b, policy, opts));
 }
 
 const std::vector<PolicyKind> &

@@ -3,73 +3,53 @@
  * Shared infrastructure for the experiment harnesses in bench/.
  *
  * Each bench binary reproduces one table or figure of the paper. They
- * all consume the same (benchmark x policy) simulation sweep, so
- * results are memoized on disk: a run keyed by its full configuration
- * is simulated once and reused by every other harness (delete
- * $SLIP_BENCH_CACHE, default /tmp/slip_bench_cache, to force re-runs).
+ * all consume the same (benchmark x policy) simulation sweep, which is
+ * owned by a process-wide SweepRunner (src/sweep/): runs execute on a
+ * worker pool, are deduplicated in-process, and are memoized on disk,
+ * so a run keyed by its full configuration is simulated once and
+ * reused by every other harness (delete $SLIP_BENCH_CACHE, default
+ * /tmp/slip_bench_cache, to force re-runs).
  *
  * Environment knobs:
  *   SLIP_BENCH_REFS   measured references per run (default 1500000)
  *   SLIP_BENCH_WARMUP warm-up references (default = SLIP_BENCH_REFS)
  *   SLIP_BENCH_CACHE  cache directory
+ *   SLIP_BENCH_JOBS   worker threads (default hardware concurrency;
+ *                     --jobs overrides)
  */
 
 #ifndef SLIP_BENCH_BENCH_COMMON_HH
 #define SLIP_BENCH_BENCH_COMMON_HH
 
-#include <map>
 #include <string>
 #include <vector>
 
-#include "sim/system.hh"
+#include "sweep/sweep_runner.hh"
 #include "util/table.hh"
 #include "workloads/spec_suite.hh"
 
 namespace slip {
 namespace bench {
 
-/** Everything a figure needs from one simulation run. */
-struct RunResult
-{
-    // L2 (summed over cores) and L3 stats.
-    CacheLevelStats l2;
-    CacheLevelStats l3;
+// The sweep vocabulary lives in src/sweep/; re-exported here so the
+// harnesses keep reading naturally.
+using slip::RunResult;
+using slip::RunSpec;
+using slip::SweepOptions;
 
-    double l2EnergyPj = 0;
-    double l3EnergyPj = 0;
-    double l1EnergyPj = 0;
-    double fullSystemPj = 0;
-    double cycles = 0;
-    double instructions = 0;
+/**
+ * The process-wide sweep runner every harness shares. Created on
+ * first use with $SLIP_BENCH_JOBS workers (default: hardware
+ * concurrency) unless configureSweepRunner() ran first.
+ */
+SweepRunner &sweepRunner();
 
-    double dramReads = 0;
-    double dramWrites = 0;
-    double dramMetaAccesses = 0;
-    double dramTrafficLines = 0;
-    double dramEnergyPj = 0;
-
-    double tlbMisses = 0;
-    double eouOps = 0;
-};
-
-/** Sweep configuration shared by the harnesses. */
-struct SweepOptions
-{
-    std::uint64_t refs;
-    std::uint64_t warmup;
-    TechParams tech;
-    TopologyKind topology = TopologyKind::HierBusWayInterleaved;
-    SamplingMode samplingMode = SamplingMode::TimeBased;
-    unsigned rdBinBits = 4;
-    bool eouIncludeInsertion = true;
-    ReplKind repl = ReplKind::Lru;
-    bool randomSublevelVictim = false;
-
-    SweepOptions();  // reads the environment knobs
-
-    /** Stable string identifying this configuration (cache key part). */
-    std::string key() const;
-};
+/**
+ * Set the worker count before the runner exists (the orchestrator's
+ * --jobs flag). Fatal if the runner was already created with a
+ * different width.
+ */
+void configureSweepRunner(unsigned jobs);
 
 /** Simulate (or load from cache) one benchmark under one policy. */
 RunResult runOne(const std::string &benchmark, PolicyKind policy,

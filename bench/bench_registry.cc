@@ -1,0 +1,229 @@
+#include "bench_registry.hh"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <future>
+#include <string>
+
+#include "util/logging.hh"
+
+namespace slip {
+namespace bench {
+
+namespace {
+
+std::vector<BenchFigure> &
+registry()
+{
+    static std::vector<BenchFigure> figs;
+    return figs;
+}
+
+void
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s [options]\n"
+        "  --jobs N          sweep worker threads "
+        "(default $SLIP_BENCH_JOBS or hardware concurrency)\n"
+        "  --only a,b,...    render only the named figures\n"
+        "  --list            list registered figures and exit\n"
+        "  --refs N          measured references per run "
+        "(= SLIP_BENCH_REFS)\n"
+        "  --warmup N        warm-up references (= SLIP_BENCH_WARMUP)\n"
+        "  --cache DIR       result cache directory "
+        "(= SLIP_BENCH_CACHE)\n"
+        "  --timing-json F   write sweep timing record to F\n"
+        "  --no-progress     suppress per-run progress lines\n",
+        argv0);
+}
+
+void
+writeTimingJson(const std::string &path, unsigned jobs,
+                const SweepRunner::Stats &st,
+                const std::vector<SweepRunner::RunRecord> &records,
+                double wall_seconds)
+{
+    std::ofstream os(path);
+    os.precision(6);
+    os << "{\n"
+       << "  \"jobs\": " << jobs << ",\n"
+       << "  \"runs_total\": " << records.size() << ",\n"
+       << "  \"runs_executed\": " << st.executed << ",\n"
+       << "  \"cache_hits\": " << st.cacheHits << ",\n"
+       << "  \"duplicate_requests\": " << st.memoHits << ",\n"
+       << "  \"wall_seconds\": " << wall_seconds << ",\n"
+       << "  \"run_seconds_sum\": " << st.simSeconds << ",\n"
+       << "  \"runs\": [\n";
+    for (std::size_t i = 0; i < records.size(); ++i) {
+        const auto &r = records[i];
+        os << "    {\"label\": \"" << r.label << "\", \"seconds\": "
+           << r.seconds << ", \"cached\": "
+           << (r.cached ? "true" : "false") << "}"
+           << (i + 1 < records.size() ? "," : "") << "\n";
+    }
+    os << "  ]\n}\n";
+    if (!os.good())
+        warn("could not write timing record to %s", path.c_str());
+}
+
+} // namespace
+
+void
+registerBenchFigure(const BenchFigure &fig)
+{
+    registry().push_back(fig);
+}
+
+const std::vector<BenchFigure> &
+benchFigures()
+{
+    return registry();
+}
+
+int
+benchOrchestratorMain(int argc, char **argv)
+{
+    unsigned jobs = 0;
+    bool jobs_set = false;
+    bool list_only = false;
+    bool progress = true;
+    std::string only;
+    std::string timing_json;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&]() -> const char * {
+            if (i + 1 >= argc)
+                fatal("%s needs a value", arg.c_str());
+            return argv[++i];
+        };
+        if (arg == "--jobs" || arg == "-j") {
+            jobs = unsigned(std::strtoul(value(), nullptr, 0));
+            jobs_set = true;
+        } else if (arg == "--only") {
+            if (!only.empty())
+                only += ",";
+            only += value();
+        } else if (arg == "--list") {
+            list_only = true;
+        } else if (arg == "--refs") {
+            ::setenv("SLIP_BENCH_REFS", value(), 1);
+        } else if (arg == "--warmup") {
+            ::setenv("SLIP_BENCH_WARMUP", value(), 1);
+        } else if (arg == "--cache") {
+            ::setenv("SLIP_BENCH_CACHE", value(), 1);
+        } else if (arg == "--timing-json") {
+            timing_json = value();
+        } else if (arg == "--no-progress") {
+            progress = false;
+        } else if (arg == "--help" || arg == "-h") {
+            usage(argv[0]);
+            return 0;
+        } else {
+            usage(argv[0]);
+            fatal("unknown argument '%s'", arg.c_str());
+        }
+    }
+
+    const auto &all = benchFigures();
+    if (all.empty())
+        fatal("no figures registered in this binary");
+
+    if (list_only) {
+        for (const auto &f : all)
+            std::printf("%-28s %s\n", f.name, f.title);
+        return 0;
+    }
+
+    // Resolve the figure selection.
+    std::vector<const BenchFigure *> selected;
+    if (only.empty()) {
+        for (const auto &f : all)
+            selected.push_back(&f);
+    } else {
+        std::string rest = only;
+        while (!rest.empty()) {
+            const auto comma = rest.find(',');
+            const std::string name = rest.substr(0, comma);
+            rest = comma == std::string::npos ? ""
+                                              : rest.substr(comma + 1);
+            if (name.empty())
+                continue;
+            const BenchFigure *found = nullptr;
+            for (const auto &f : all)
+                if (name == f.name)
+                    found = &f;
+            if (!found)
+                fatal("unknown figure '%s' (see --list)", name.c_str());
+            selected.push_back(found);
+        }
+    }
+
+    if (jobs_set)
+        configureSweepRunner(jobs);
+    SweepRunner &runner = sweepRunner();
+
+    if (progress) {
+        runner.setProgress([](const SweepRunner::RunRecord &rec) {
+            std::fprintf(stderr, "[%3zu/%-3zu] %-28s %7.2fs%s\n",
+                         rec.done, rec.total, rec.label.c_str(),
+                         rec.seconds, rec.cached ? "  (cached)" : "");
+        });
+    }
+
+    // Phase 1: closure of required runs, executed once, in parallel.
+    std::vector<RunSpec> specs;
+    for (const auto *f : selected)
+        f->plan(specs);
+
+    const auto t0 = std::chrono::steady_clock::now();
+    std::vector<std::shared_future<RunResult>> futures;
+    futures.reserve(specs.size());
+    for (const auto &s : specs)
+        futures.push_back(runner.enqueue(s));
+    for (auto &f : futures)
+        f.wait();
+    // Futures become ready before the per-run progress hooks fire;
+    // drain the pool so the summary prints after the last of them.
+    runner.wait();
+    const double wall = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count();
+
+    const auto st = runner.stats();
+    if (!specs.empty()) {
+        std::fprintf(stderr,
+                     "sweep: %zu distinct runs (%zu simulated, %zu "
+                     "from cache) on %u worker%s in %.2fs wall, "
+                     "%.2fs aggregate\n",
+                     st.executed + st.cacheHits, st.executed,
+                     st.cacheHits, runner.jobs(),
+                     runner.jobs() == 1 ? "" : "s", wall,
+                     st.simSeconds);
+    }
+    if (!timing_json.empty())
+        writeTimingJson(timing_json, runner.jobs(), st,
+                        runner.records(), wall);
+
+    // Phase 2: render every figure against the memoized sweep.
+    int rc = 0;
+    bool first = true;
+    for (const auto *f : selected) {
+        if (!first)
+            std::printf("\n");
+        first = false;
+        const int frc = f->render();
+        if (frc != 0 && rc == 0)
+            rc = frc;
+        std::fflush(stdout);
+    }
+    return rc;
+}
+
+} // namespace bench
+} // namespace slip

@@ -8,13 +8,24 @@
 
 #include <cstdio>
 
-#include "bench_common.hh"
+#include "bench_registry.hh"
 
 using namespace slip;
 using namespace slip::bench;
 
+namespace {
+
+void
+plan(std::vector<RunSpec> &out)
+{
+    SweepOptions opts;
+    for (const auto &benchn : figure1Benchmarks())
+        out.push_back(
+            RunSpec::single(benchn, PolicyKind::Baseline, opts));
+}
+
 int
-main()
+render()
 {
     SweepOptions opts;
     printHeader("Figure 1: lines by number of reuses (NR) in the LLC",
@@ -60,3 +71,10 @@ main()
                     100 * average(nr0s), 100 * average(nr1s) / reused);
     return 0;
 }
+
+const BenchFigureRegistrar reg{
+    {"fig01_reuse_breakdown",
+     "Figure 1: lines by number of reuses (NR) in the LLC", &plan,
+     &render}};
+
+} // namespace

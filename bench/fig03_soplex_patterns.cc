@@ -17,7 +17,7 @@
 #include <unordered_map>
 #include <vector>
 
-#include "bench_common.hh"
+#include "bench_registry.hh"
 #include "workloads/pattern.hh"
 
 using namespace slip;
@@ -107,10 +107,14 @@ classify(Pattern &p, std::size_t n)
     return out;
 }
 
-} // namespace
+// Pure pattern analysis — no simulation runs to plan.
+void
+plan(std::vector<RunSpec> &)
+{
+}
 
 int
-main()
+render()
 {
     SweepOptions opts;
     printHeader("Figure 3: soplex access-pattern reuse classes",
@@ -156,3 +160,9 @@ main()
                 "into the >256K class)\n");
     return 0;
 }
+
+const BenchFigureRegistrar reg{
+    {"fig03_soplex_patterns",
+     "Figure 3: soplex access-pattern reuse classes", &plan, &render}};
+
+} // namespace

@@ -7,14 +7,26 @@
  */
 
 #include <cstdio>
+#include <map>
 
-#include "bench_common.hh"
+#include "bench_registry.hh"
 
 using namespace slip;
 using namespace slip::bench;
 
+namespace {
+
+void
+plan(std::vector<RunSpec> &out)
+{
+    SweepOptions opts;
+    for (const auto &benchn : specBenchmarks())
+        for (PolicyKind pk : allPolicies())
+            out.push_back(RunSpec::single(benchn, pk, opts));
+}
+
 int
-main()
+render()
 {
     SweepOptions opts;
     printHeader(
@@ -71,3 +83,10 @@ main()
     std::fputs(t.render().c_str(), stdout);
     return 0;
 }
+
+const BenchFigureRegistrar reg{
+    {"fig09_energy_savings",
+     "Figure 9: cache energy savings vs. the regular hierarchy", &plan,
+     &render}};
+
+} // namespace

@@ -7,13 +7,25 @@
 
 #include <cstdio>
 
-#include "bench_common.hh"
+#include "bench_registry.hh"
 
 using namespace slip;
 using namespace slip::bench;
 
+namespace {
+
+void
+plan(std::vector<RunSpec> &out)
+{
+    SweepOptions opts;
+    for (const auto &benchn : specBenchmarks())
+        for (PolicyKind pk : {PolicyKind::Baseline, PolicyKind::Slip,
+                              PolicyKind::SlipAbp})
+            out.push_back(RunSpec::single(benchn, pk, opts));
+}
+
 int
-main()
+render()
 {
     SweepOptions opts;
     printHeader("Figure 10: full-system dynamic energy savings",
@@ -43,3 +55,9 @@ main()
     std::fputs(t.render().c_str(), stdout);
     return 0;
 }
+
+const BenchFigureRegistrar reg{
+    {"fig10_fullsystem_energy",
+     "Figure 10: full-system dynamic energy savings", &plan, &render}};
+
+} // namespace

@@ -9,7 +9,7 @@
 
 #include <cstdio>
 
-#include "bench_common.hh"
+#include "bench_registry.hh"
 
 using namespace slip;
 using namespace slip::bench;
@@ -56,10 +56,17 @@ printLevel(const SweepOptions &opts, bool l3)
     std::printf("\n");
 }
 
-} // namespace
+void
+plan(std::vector<RunSpec> &out)
+{
+    SweepOptions opts;
+    for (const auto &benchn : specBenchmarks())
+        for (PolicyKind pk : allPolicies())
+            out.push_back(RunSpec::single(benchn, pk, opts));
+}
 
 int
-main()
+render()
 {
     SweepOptions opts;
     printHeader(
@@ -71,3 +78,10 @@ main()
     printLevel(opts, true);
     return 0;
 }
+
+const BenchFigureRegistrar reg{
+    {"fig11_energy_breakdown",
+     "Figure 11: access vs movement energy breakdown", &plan,
+     &render}};
+
+} // namespace

@@ -9,7 +9,7 @@
 
 #include <cstdio>
 
-#include "bench_common.hh"
+#include "bench_registry.hh"
 
 using namespace slip;
 using namespace slip::bench;
@@ -63,10 +63,18 @@ printLevel(const SweepOptions &opts, bool l3)
     std::printf("\n");
 }
 
-} // namespace
+void
+plan(std::vector<RunSpec> &out)
+{
+    SweepOptions opts;
+    for (const auto &benchn : specBenchmarks())
+        for (PolicyKind pk : {PolicyKind::Baseline, PolicyKind::Slip,
+                              PolicyKind::SlipAbp})
+            out.push_back(RunSpec::single(benchn, pk, opts));
+}
 
 int
-main()
+render()
 {
     SweepOptions opts;
     printHeader("Figure 12: relative miss traffic incl. metadata",
@@ -104,3 +112,10 @@ main()
     std::fputs(t.render().c_str(), stdout);
     return 0;
 }
+
+const BenchFigureRegistrar reg{
+    {"fig12_miss_traffic",
+     "Figure 12: relative miss traffic incl. metadata", &plan,
+     &render}};
+
+} // namespace

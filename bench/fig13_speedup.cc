@@ -7,14 +7,26 @@
  */
 
 #include <cstdio>
+#include <map>
 
-#include "bench_common.hh"
+#include "bench_registry.hh"
 
 using namespace slip;
 using namespace slip::bench;
 
+namespace {
+
+void
+plan(std::vector<RunSpec> &out)
+{
+    SweepOptions opts;
+    for (const auto &benchn : specBenchmarks())
+        for (PolicyKind pk : allPolicies())
+            out.push_back(RunSpec::single(benchn, pk, opts));
+}
+
 int
-main()
+render()
 {
     SweepOptions opts;
     printHeader("Figure 13: speedup vs regular hierarchy",
@@ -50,3 +62,9 @@ main()
     std::fputs(t.render().c_str(), stdout);
     return 0;
 }
+
+const BenchFigureRegistrar reg{
+    {"fig13_speedup", "Figure 13: speedup vs regular hierarchy", &plan,
+     &render}};
+
+} // namespace

@@ -8,7 +8,7 @@
 
 #include <cstdio>
 
-#include "bench_common.hh"
+#include "bench_registry.hh"
 
 using namespace slip;
 using namespace slip::bench;
@@ -57,10 +57,17 @@ printLevel(const SweepOptions &opts, bool l3)
     std::printf("\n");
 }
 
-} // namespace
+void
+plan(std::vector<RunSpec> &out)
+{
+    SweepOptions opts;
+    for (const auto &benchn : specBenchmarks())
+        out.push_back(
+            RunSpec::single(benchn, PolicyKind::SlipAbp, opts));
+}
 
 int
-main()
+render()
 {
     SweepOptions opts;
     printHeader("Figure 14: insertions by assigned SLIP class",
@@ -71,3 +78,9 @@ main()
     printLevel(opts, true);
     return 0;
 }
+
+const BenchFigureRegistrar reg{
+    {"fig14_insertion_classes",
+     "Figure 14: insertions by assigned SLIP class", &plan, &render}};
+
+} // namespace

@@ -9,13 +9,26 @@
 
 #include <cstdio>
 
-#include "bench_common.hh"
+#include "bench_registry.hh"
 
 using namespace slip;
 using namespace slip::bench;
 
+namespace {
+
+void
+plan(std::vector<RunSpec> &out)
+{
+    SweepOptions opts;
+    for (const auto &mix : multicoreMixes())
+        for (PolicyKind pk :
+             {PolicyKind::Baseline, PolicyKind::SlipAbp})
+            out.push_back(
+                RunSpec::mix(mix.first, mix.second, pk, opts));
+}
+
 int
-main()
+render()
 {
     SweepOptions opts;
     printHeader("Figure 16: two-core mixes, shared L3 (SLIP+ABP)",
@@ -62,3 +75,10 @@ main()
                 "(private L2s), as the paper observes.\n");
     return 0;
 }
+
+const BenchFigureRegistrar reg{
+    {"fig16_multicore",
+     "Figure 16: two-core mixes, shared L3 (SLIP+ABP)", &plan,
+     &render}};
+
+} // namespace

@@ -1,0 +1,15 @@
+/**
+ * @file
+ * Entry point shared by slip-bench (linked with every figure) and the
+ * per-figure binaries (linked with exactly one). All orchestration —
+ * flag parsing, parallel sweep execution, rendering — lives in
+ * benchOrchestratorMain().
+ */
+
+#include "bench_registry.hh"
+
+int
+main(int argc, char **argv)
+{
+    return slip::bench::benchOrchestratorMain(argc, argv);
+}

@@ -8,15 +8,35 @@
 
 #include <cstdio>
 
-#include "bench_common.hh"
+#include "bench_registry.hh"
 
 using namespace slip;
 using namespace slip::bench;
 
-int
-main()
+namespace {
+
+constexpr unsigned kWidths[] = {2, 3, 4, 6, 8};
+
+void
+plan(std::vector<RunSpec> &out)
 {
-    const unsigned widths[] = {2, 3, 4, 6, 8};
+    SweepOptions base_opts;
+    for (const auto &benchn : specBenchmarks()) {
+        out.push_back(
+            RunSpec::single(benchn, PolicyKind::Baseline, base_opts));
+        for (unsigned bits : kWidths) {
+            SweepOptions opts = base_opts;
+            opts.rdBinBits = bits;
+            out.push_back(
+                RunSpec::single(benchn, PolicyKind::SlipAbp, opts));
+        }
+    }
+}
+
+int
+render()
+{
+    const unsigned(&widths)[5] = kWidths;
 
     SweepOptions base_opts;
     printHeader("Section 6: reuse-distance bin width sensitivity "
@@ -61,3 +81,10 @@ main()
                 "widths; 2 b notably worse\n");
     return 0;
 }
+
+const BenchFigureRegistrar reg{
+    {"tbl_bitwidth_sensitivity",
+     "Section 6: reuse-distance bin width sensitivity", &plan,
+     &render}};
+
+} // namespace

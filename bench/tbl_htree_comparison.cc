@@ -10,13 +10,29 @@
 
 #include <cstdio>
 
-#include "bench_common.hh"
+#include "bench_registry.hh"
 
 using namespace slip;
 using namespace slip::bench;
 
+namespace {
+
+void
+plan(std::vector<RunSpec> &out)
+{
+    SweepOptions way;
+    SweepOptions htree = way;
+    htree.topology = TopologyKind::HTree;
+    SweepOptions setil = way;
+    setil.topology = TopologyKind::HierBusSetInterleaved;
+    for (const auto &benchn : specBenchmarks())
+        for (const SweepOptions *o : {&way, &htree, &setil})
+            out.push_back(
+                RunSpec::single(benchn, PolicyKind::Baseline, *o));
+}
+
 int
-main()
+render()
 {
     SweepOptions way;
     SweepOptions htree = way;
@@ -54,3 +70,9 @@ main()
     std::fputs(t.render().c_str(), stdout);
     return 0;
 }
+
+const BenchFigureRegistrar reg{
+    {"tbl_htree_comparison",
+     "Section 2.1: interconnect topology comparison", &plan, &render}};
+
+} // namespace

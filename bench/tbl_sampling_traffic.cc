@@ -10,13 +10,41 @@
 
 #include <cstdio>
 
-#include "bench_common.hh"
+#include "bench_registry.hh"
 
 using namespace slip;
 using namespace slip::bench;
 
+namespace {
+
+/** High-TLB-miss-rate workloads called out by the paper. */
+const std::vector<std::string> &
+sampledBenches()
+{
+    static const std::vector<std::string> benches = {
+        "soplex", "mcf", "xalancbmk", "astar", "omnetpp",
+    };
+    return benches;
+}
+
+void
+plan(std::vector<RunSpec> &out)
+{
+    SweepOptions sampled;
+    SweepOptions always = sampled;
+    always.samplingMode = SamplingMode::Always;
+    for (const auto &benchn : sampledBenches()) {
+        out.push_back(
+            RunSpec::single(benchn, PolicyKind::Baseline, sampled));
+        out.push_back(
+            RunSpec::single(benchn, PolicyKind::SlipAbp, sampled));
+        out.push_back(
+            RunSpec::single(benchn, PolicyKind::SlipAbp, always));
+    }
+}
+
 int
-main()
+render()
 {
     SweepOptions sampled;
     SweepOptions always = sampled;
@@ -28,10 +56,7 @@ main()
                 "traffic; with sampling <2% L2, <1.5% DRAM",
                 sampled);
 
-    // High-TLB-miss-rate workloads called out by the paper.
-    const std::vector<std::string> benches = {
-        "soplex", "mcf", "xalancbmk", "astar", "omnetpp",
-    };
+    const std::vector<std::string> &benches = sampledBenches();
 
     TextTable t;
     t.setHeader({"benchmark", "always L2 ovh", "always DRAM ovh",
@@ -65,3 +90,10 @@ main()
                 100.0 * 16 / (16 + 256));
     return 0;
 }
+
+const BenchFigureRegistrar reg{
+    {"tbl_sampling_traffic",
+     "Sections 4.1/4.2: metadata traffic, always-fetch vs sampling",
+     &plan, &render}};
+
+} // namespace

@@ -9,13 +9,28 @@
 
 #include <cstdio>
 
-#include "bench_common.hh"
+#include "bench_registry.hh"
 
 using namespace slip;
 using namespace slip::bench;
 
+namespace {
+
+void
+plan(std::vector<RunSpec> &out)
+{
+    SweepOptions n45;
+    SweepOptions n22 = n45;
+    n22.tech = tech22nm();
+    for (const auto &benchn : specBenchmarks())
+        for (const SweepOptions *o : {&n45, &n22})
+            for (PolicyKind pk :
+                 {PolicyKind::Baseline, PolicyKind::SlipAbp})
+                out.push_back(RunSpec::single(benchn, pk, *o));
+}
+
 int
-main()
+render()
 {
     SweepOptions n45;
     SweepOptions n22 = n45;
@@ -54,3 +69,9 @@ main()
     std::fputs(t.render().c_str(), stdout);
     return 0;
 }
+
+const BenchFigureRegistrar reg{
+    {"tbl_tech22nm", "Section 6: SLIP+ABP savings at 22 nm vs 45 nm",
+     &plan, &render}};
+
+} // namespace

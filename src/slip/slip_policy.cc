@@ -1,6 +1,6 @@
 #include "slip/slip_policy.hh"
 
-#include <map>
+#include <array>
 
 #include "util/logging.hh"
 
@@ -64,30 +64,36 @@ SlipPolicy::all(unsigned num_sublevels)
 {
     slip_assert(num_sublevels >= 1 && num_sublevels <= 5,
                 "unsupported sublevel count %u", num_sublevels);
-    static std::map<unsigned, std::vector<SlipPolicy>> cache;
-    auto it = cache.find(num_sublevels);
-    if (it != cache.end())
-        return it->second;
-
-    std::vector<SlipPolicy> pols;
-    pols.push_back(SlipPolicy{});  // code 0: ABP
-    // For each used-prefix length k, enumerate the 2^(k-1) compositions
-    // via a bitmask of cut positions (bit j set = cut after sublevel j).
-    for (unsigned k = 1; k <= num_sublevels; ++k) {
-        const unsigned cuts_max = 1u << (k - 1);
-        for (unsigned cuts = 0; cuts < cuts_max; ++cuts) {
-            std::vector<unsigned> ends;
-            for (unsigned j = 0; j + 1 < k; ++j)
-                if ((cuts >> j) & 1)
-                    ends.push_back(j + 1);
-            ends.push_back(k);
-            pols.push_back(fromChunkEnds(std::move(ends)));
+    // Built once for every supported sublevel count under the
+    // magic-static initialization lock and immutable afterwards, so
+    // concurrent sweep workers may call this with no further locking.
+    static const std::array<std::vector<SlipPolicy>, 5> tables = [] {
+        std::array<std::vector<SlipPolicy>, 5> t;
+        for (unsigned s = 1; s <= 5; ++s) {
+            std::vector<SlipPolicy> pols;
+            pols.push_back(SlipPolicy{});  // code 0: ABP
+            // For each used-prefix length k, enumerate the 2^(k-1)
+            // compositions via a bitmask of cut positions (bit j set =
+            // cut after sublevel j).
+            for (unsigned k = 1; k <= s; ++k) {
+                const unsigned cuts_max = 1u << (k - 1);
+                for (unsigned cuts = 0; cuts < cuts_max; ++cuts) {
+                    std::vector<unsigned> ends;
+                    for (unsigned j = 0; j + 1 < k; ++j)
+                        if ((cuts >> j) & 1)
+                            ends.push_back(j + 1);
+                    ends.push_back(k);
+                    pols.push_back(fromChunkEnds(std::move(ends)));
+                }
+            }
+            slip_assert(pols.size() == numPolicies(s),
+                        "enumeration produced %zu policies, expected %u",
+                        pols.size(), numPolicies(s));
+            t[s - 1] = std::move(pols);
         }
-    }
-    slip_assert(pols.size() == numPolicies(num_sublevels),
-                "enumeration produced %zu policies, expected %u",
-                pols.size(), numPolicies(num_sublevels));
-    return cache.emplace(num_sublevels, std::move(pols)).first->second;
+        return t;
+    }();
+    return tables[num_sublevels - 1];
 }
 
 const SlipPolicy &

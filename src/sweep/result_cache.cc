@@ -1,0 +1,87 @@
+#include "sweep/result_cache.hh"
+
+#include <atomic>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <system_error>
+
+#include <unistd.h>
+
+#include "util/logging.hh"
+
+namespace slip {
+
+namespace {
+
+/** Temp-file suffix unique across processes and threads. */
+std::string
+uniqueSuffix()
+{
+    static std::atomic<std::uint64_t> counter{0};
+    std::ostringstream os;
+    os << ".tmp." << ::getpid() << "."
+       << counter.fetch_add(1, std::memory_order_relaxed);
+    return os.str();
+}
+
+} // namespace
+
+ResultCache
+ResultCache::fromEnv()
+{
+    const char *v = std::getenv("SLIP_BENCH_CACHE");
+    return ResultCache(v ? v : "/tmp/slip_bench_cache");
+}
+
+std::string
+ResultCache::path(const std::string &key) const
+{
+    return _dir + "/" + key;
+}
+
+bool
+ResultCache::lookup(const std::string &key, RunResult &r) const
+{
+    if (!enabled())
+        return false;
+    std::ifstream is(path(key));
+    if (!is)
+        return false;
+    return parseRunResult(is, r);
+}
+
+void
+ResultCache::store(const std::string &key, const RunResult &r) const
+{
+    if (!enabled())
+        return;
+    std::error_code ec;
+    std::filesystem::create_directories(_dir, ec);
+    if (ec) {
+        warn("sweep cache: cannot create %s: %s", _dir.c_str(),
+             ec.message().c_str());
+        return;
+    }
+    const std::string final_path = path(key);
+    const std::string tmp_path = final_path + uniqueSuffix();
+    {
+        std::ofstream os(tmp_path);
+        serializeRunResult(os, r);
+        os.close();
+        if (!os.good()) {
+            warn("sweep cache: failed writing %s", tmp_path.c_str());
+            std::filesystem::remove(tmp_path, ec);
+            return;
+        }
+    }
+    std::filesystem::rename(tmp_path, final_path, ec);
+    if (ec) {
+        warn("sweep cache: rename to %s failed: %s", final_path.c_str(),
+             ec.message().c_str());
+        std::filesystem::remove(tmp_path, ec);
+    }
+}
+
+} // namespace slip

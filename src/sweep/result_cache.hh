@@ -1,0 +1,55 @@
+/**
+ * @file
+ * The on-disk memoization cache of sweep results.
+ *
+ * One file per RunSpec key, written to a unique per-process/thread
+ * temporary name and atomically renamed into place, so any number of
+ * worker threads and concurrent processes (ctest -j smoke tests, a
+ * figure binary racing slip-bench) may share one cache directory.
+ * Truncated, empty, or foreign files are treated as misses, never as
+ * zero-valued results.
+ */
+
+#ifndef SLIP_SWEEP_RESULT_CACHE_HH
+#define SLIP_SWEEP_RESULT_CACHE_HH
+
+#include <string>
+
+#include "sweep/run_result.hh"
+
+namespace slip {
+
+class ResultCache
+{
+  public:
+    /** Cache rooted at @p dir; empty disables caching entirely. */
+    explicit ResultCache(std::string dir) : _dir(std::move(dir)) {}
+
+    /** Cache at $SLIP_BENCH_CACHE (default /tmp/slip_bench_cache). */
+    static ResultCache fromEnv();
+
+    /** A cache that never hits and never stores. */
+    static ResultCache disabled() { return ResultCache(""); }
+
+    bool enabled() const { return !_dir.empty(); }
+    const std::string &dir() const { return _dir; }
+
+    /** Load the result stored under @p key. False on miss/corruption. */
+    bool lookup(const std::string &key, RunResult &r) const;
+
+    /**
+     * Persist @p r under @p key (unique temp file + atomic rename).
+     * Failures are logged and swallowed: the cache is an accelerator,
+     * not a correctness dependency.
+     */
+    void store(const std::string &key, const RunResult &r) const;
+
+  private:
+    std::string path(const std::string &key) const;
+
+    std::string _dir;
+};
+
+} // namespace slip
+
+#endif // SLIP_SWEEP_RESULT_CACHE_HH

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * The measurements one sweep run produces, their flat text
+ * (de)serialization, and the function that executes a RunSpec on a
+ * fresh System. Serialization is the equality oracle: two results are
+ * equal iff their serialized forms are byte-identical, which is also
+ * the property the parallel sweep guarantees relative to serial runs.
+ */
+
+#ifndef SLIP_SWEEP_RUN_RESULT_HH
+#define SLIP_SWEEP_RUN_RESULT_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "cache/cache_level.hh"
+#include "sweep/run_spec.hh"
+
+namespace slip {
+
+/** Everything a figure needs from one simulation run. */
+struct RunResult
+{
+    // L2 (summed over cores) and L3 stats.
+    CacheLevelStats l2;
+    CacheLevelStats l3;
+
+    double l2EnergyPj = 0;
+    double l3EnergyPj = 0;
+    double l1EnergyPj = 0;
+    double fullSystemPj = 0;
+    double cycles = 0;
+    double instructions = 0;
+
+    double dramReads = 0;
+    double dramWrites = 0;
+    double dramMetaAccesses = 0;
+    double dramTrafficLines = 0;
+    double dramEnergyPj = 0;
+
+    double tlbMisses = 0;
+    double eouOps = 0;
+};
+
+/**
+ * Write @p r as "key value" lines, terminated by an explicit
+ * end-of-record marker so truncated files are detectable.
+ */
+void serializeRunResult(std::ostream &os, const RunResult &r);
+
+/**
+ * Parse a serialized result. Returns false for empty, malformed, or
+ * truncated input (missing end-of-record marker).
+ */
+bool parseRunResult(std::istream &is, RunResult &r);
+
+/** Serialized form of @p r (canonical byte-comparable encoding). */
+std::string runResultToString(const RunResult &r);
+
+bool operator==(const RunResult &a, const RunResult &b);
+inline bool
+operator!=(const RunResult &a, const RunResult &b)
+{
+    return !(a == b);
+}
+
+/**
+ * Simulate @p spec from scratch on the calling thread and collect the
+ * results. Pure: no caching, no shared mutable state; safe to call
+ * concurrently from many threads.
+ */
+RunResult executeRun(const RunSpec &spec);
+
+} // namespace slip
+
+#endif // SLIP_SWEEP_RUN_RESULT_HH

@@ -1,0 +1,81 @@
+#include "sweep/run_spec.hh"
+
+#include <cstdlib>
+#include <sstream>
+
+namespace slip {
+
+namespace {
+
+std::uint64_t
+envU64(const char *name, std::uint64_t fallback)
+{
+    const char *v = std::getenv(name);
+    return v ? std::strtoull(v, nullptr, 0) : fallback;
+}
+
+} // namespace
+
+SweepOptions::SweepOptions() : tech(tech45nm())
+{
+    refs = envU64("SLIP_BENCH_REFS", 1'500'000);
+    warmup = envU64("SLIP_BENCH_WARMUP", refs);
+}
+
+std::string
+SweepOptions::key() const
+{
+    // v6: results gained the invalidation counter and the end-of-file
+    // marker; bumping the version retires every pre-v6 cache entry.
+    std::ostringstream os;
+    os << "v6_r" << refs << "_w" << warmup << "_" << tech.name << "_t"
+       << int(topology) << "_s" << int(samplingMode) << "_b"
+       << rdBinBits << "_i" << eouIncludeInsertion << "_p" << int(repl)
+       << "_v" << randomSublevelVictim;
+    return os.str();
+}
+
+RunSpec
+RunSpec::single(std::string benchmark, PolicyKind policy,
+                const SweepOptions &opts)
+{
+    RunSpec s;
+    s.benchmark = std::move(benchmark);
+    s.policy = policy;
+    s.opts = opts;
+    return s;
+}
+
+RunSpec
+RunSpec::mix(std::string a, std::string b, PolicyKind policy,
+             const SweepOptions &opts)
+{
+    RunSpec s;
+    s.benchmark = std::move(a);
+    s.benchmarkB = std::move(b);
+    s.policy = policy;
+    s.opts = opts;
+    return s;
+}
+
+std::string
+RunSpec::key() const
+{
+    if (isMix())
+        return "mix_" + benchmark + "+" + benchmarkB + "_" +
+               policyName(policy) + "_" + opts.key();
+    return benchmark + "_" + policyName(policy) + "_" + opts.key();
+}
+
+std::string
+RunSpec::label() const
+{
+    std::string l = benchmark;
+    if (isMix())
+        l += "+" + benchmarkB;
+    l += "/";
+    l += policyName(policy);
+    return l;
+}
+
+} // namespace slip

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * The unit of work of the evaluation sweep: one (benchmark-or-mix,
+ * policy, configuration) simulation, identified by a stable string key
+ * that doubles as its on-disk cache name.
+ *
+ * Environment knobs (read once per SweepOptions construction):
+ *   SLIP_BENCH_REFS   measured references per run (default 1500000)
+ *   SLIP_BENCH_WARMUP warm-up references (default = SLIP_BENCH_REFS)
+ */
+
+#ifndef SLIP_SWEEP_RUN_SPEC_HH
+#define SLIP_SWEEP_RUN_SPEC_HH
+
+#include <cstdint>
+#include <string>
+
+#include "cache/replacement.hh"
+#include "energy/energy_params.hh"
+#include "energy/topology.hh"
+#include "sim/policy_kind.hh"
+#include "sim/system.hh"
+
+namespace slip {
+
+/** Sweep configuration shared by the experiment harnesses. */
+struct SweepOptions
+{
+    std::uint64_t refs;
+    std::uint64_t warmup;
+    TechParams tech;
+    TopologyKind topology = TopologyKind::HierBusWayInterleaved;
+    SamplingMode samplingMode = SamplingMode::TimeBased;
+    unsigned rdBinBits = 4;
+    bool eouIncludeInsertion = true;
+    ReplKind repl = ReplKind::Lru;
+    bool randomSublevelVictim = false;
+
+    SweepOptions();  // reads the environment knobs
+
+    /** Stable string identifying this configuration (cache key part). */
+    std::string key() const;
+};
+
+/** One independent simulation of the sweep. */
+struct RunSpec
+{
+    /** Benchmark name; for mixes, core 0's benchmark. */
+    std::string benchmark;
+    /** Core 1's benchmark for a two-core mix; empty for single-core. */
+    std::string benchmarkB;
+    PolicyKind policy = PolicyKind::Baseline;
+    SweepOptions opts;
+
+    bool isMix() const { return !benchmarkB.empty(); }
+
+    static RunSpec single(std::string benchmark, PolicyKind policy,
+                          const SweepOptions &opts);
+    static RunSpec mix(std::string a, std::string b, PolicyKind policy,
+                       const SweepOptions &opts);
+
+    /** Unique cache key (also the on-disk cache file name). */
+    std::string key() const;
+
+    /** Short human-readable label for progress output. */
+    std::string label() const;
+};
+
+} // namespace slip
+
+#endif // SLIP_SWEEP_RUN_SPEC_HH

@@ -1,8 +1,22 @@
 #include "util/logging.hh"
 
 #include <cstdarg>
+#include <mutex>
+#include <vector>
 
 namespace slip {
+
+namespace {
+
+/** Serializes emission so messages from sweep workers never interleave. */
+std::mutex &
+emitMutex()
+{
+    static std::mutex mu;
+    return mu;
+}
+
+} // namespace
 
 Logger &
 Logger::get()
@@ -37,8 +51,19 @@ Logger::vemit(LogLevel level, const char *fmt, std::va_list ap)
         stream = stderr;
         break;
     }
+    // Format first, then emit prefix + message + newline as one locked
+    // sequence: concurrent worker threads get whole-line output.
+    std::va_list ap_copy;
+    va_copy(ap_copy, ap);
+    const int len = std::vsnprintf(nullptr, 0, fmt, ap_copy);
+    va_end(ap_copy);
+    std::vector<char> buf(len > 0 ? std::size_t(len) + 1 : 1, '\0');
+    if (len > 0)
+        std::vsnprintf(buf.data(), buf.size(), fmt, ap);
+
+    std::lock_guard<std::mutex> lock(emitMutex());
     std::fputs(prefix, stream);
-    std::vfprintf(stream, fmt, ap);
+    std::fputs(buf.data(), stream);
     std::fputc('\n', stream);
     std::fflush(stream);
 }

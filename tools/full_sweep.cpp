@@ -1,44 +1,108 @@
+/**
+ * @file
+ * Developer-facing full (benchmark x policy) sweep summary, printed
+ * against the paper's headline averages.
+ *
+ * Thin client of the SweepRunner (src/sweep/): the whole sweep is
+ * enqueued up front and executed on a worker pool with on-disk
+ * memoization, so repeated invocations and the bench/ harnesses share
+ * one set of simulations.
+ *
+ * usage: full_sweep [refs] [jobs]
+ *   refs  measured references per run (default 1500000; warm-up 3n/4)
+ *   jobs  worker threads (default $SLIP_BENCH_JOBS or hardware)
+ */
+
 #include <cstdio>
+#include <cstdlib>
+#include <future>
 #include <string>
-#include "sim/system.hh"
+#include <vector>
+
+#include "sweep/sweep_runner.hh"
 #include "workloads/spec_suite.hh"
+
 using namespace slip;
-int main(int argc, char** argv) {
-  uint64_t n = argc>1?strtoull(argv[1],nullptr,0):1500000;
-  printf("%-10s | %6s %6s | %6s %6s | %7s %7s | %6s %6s | %5s %5s\n",
-    "bench","S.L2","SA.L2","S.L3","SA.L3","SA.spd","SA.dram","NR.L2","LP.L2","ABP2","ABP3");
-  double aSL2=0,aSAL2=0,aSL3=0,aSAL3=0,aspd=0,adram=0,aNR=0,aLP=0;
-  int cnt=0;
-  for (auto& bench : specBenchmarks()) {
-    double vals[5][6];
-    int pi=0;
-    double abp2=0, abp3=0;
-    for (PolicyKind pk : {PolicyKind::Baseline, PolicyKind::NuRapid, PolicyKind::LruPea,
-                          PolicyKind::Slip, PolicyKind::SlipAbp}) {
-      SystemConfig cfg; cfg.policy = pk;
-      System sys(cfg);
-      auto w = makeSpecWorkload(bench);
-      sys.run({w.get()}, n, n*3/4);
-      vals[pi][0]=sys.l2EnergyPj(); vals[pi][1]=sys.l3EnergyPj();
-      vals[pi][2]=sys.totalCycles(); vals[pi][3]=sys.dram().totalTrafficLines();
-      if (pk==PolicyKind::SlipAbp) {
-        auto l2=sys.combinedL2Stats(); auto& l3=sys.l3().stats();
-        abp2=double(l2.insertClass[0])/(l2.insertions+l2.bypasses);
-        abp3=double(l3.insertClass[0])/(l3.insertions+l3.bypasses);
-      }
-      pi++;
+
+int
+main(int argc, char **argv)
+{
+    const std::uint64_t n =
+        argc > 1 ? std::strtoull(argv[1], nullptr, 0) : 1'500'000;
+    unsigned jobs = 0;
+    if (argc > 2)
+        jobs = unsigned(std::strtoul(argv[2], nullptr, 0));
+    else if (const char *v = std::getenv("SLIP_BENCH_JOBS"))
+        jobs = unsigned(std::strtoul(v, nullptr, 0));
+
+    SweepOptions opts;
+    opts.refs = n;
+    opts.warmup = n * 3 / 4;
+
+    const std::vector<PolicyKind> policies = {
+        PolicyKind::Baseline, PolicyKind::NuRapid, PolicyKind::LruPea,
+        PolicyKind::Slip, PolicyKind::SlipAbp,
+    };
+
+    SweepRunner runner(jobs);
+    std::vector<std::vector<std::shared_future<RunResult>>> futures;
+    for (const auto &bench : specBenchmarks()) {
+        futures.emplace_back();
+        for (PolicyKind pk : policies)
+            futures.back().push_back(
+                runner.enqueue(RunSpec::single(bench, pk, opts)));
     }
-    auto sav=[&](int p,int m){return 100*(1-vals[p][m]/vals[0][m]);};
-    printf("%-10s | %5.1f%% %5.1f%% | %5.1f%% %5.1f%% | %+6.2f%% %+6.2f%% | %5.0f%% %5.0f%% | %4.0f%% %4.0f%%\n",
-      bench.c_str(), sav(3,0), sav(4,0), sav(3,1), sav(4,1),
-      100*(vals[0][2]/vals[4][2]-1), 100*(vals[4][3]/vals[0][3]-1),
-      sav(1,0), sav(2,0), 100*abp2, 100*abp3);
-    aSL2+=sav(3,0); aSAL2+=sav(4,0); aSL3+=sav(3,1); aSAL3+=sav(4,1);
-    aspd+=100*(vals[0][2]/vals[4][2]-1); adram+=100*(vals[4][3]/vals[0][3]-1);
-    aNR+=sav(1,0); aLP+=sav(2,0); cnt++;
-  }
-  printf("%-10s | %5.1f%% %5.1f%% | %5.1f%% %5.1f%% | %+6.2f%% %+6.2f%% | %5.0f%% %5.0f%%\n",
-    "AVERAGE", aSL2/cnt, aSAL2/cnt, aSL3/cnt, aSAL3/cnt, aspd/cnt, adram/cnt, aNR/cnt, aLP/cnt);
-  printf("paper:     | 21%%  35%%  | 13%%  22%%  | +0.75%% -2.2%% | -84%% -79%%\n");
-  return 0;
+
+    std::printf(
+        "%-10s | %6s %6s | %6s %6s | %7s %7s | %6s %6s | %5s %5s\n",
+        "bench", "S.L2", "SA.L2", "S.L3", "SA.L3", "SA.spd", "SA.dram",
+        "NR.L2", "LP.L2", "ABP2", "ABP3");
+    double aSL2 = 0, aSAL2 = 0, aSL3 = 0, aSAL3 = 0, aspd = 0,
+           adram = 0, aNR = 0, aLP = 0;
+    int cnt = 0;
+    for (std::size_t bi = 0; bi < specBenchmarks().size(); ++bi) {
+        const std::string &bench = specBenchmarks()[bi];
+        double vals[5][4];
+        double abp2 = 0, abp3 = 0;
+        for (std::size_t pi = 0; pi < policies.size(); ++pi) {
+            const RunResult r = futures[bi][pi].get();
+            vals[pi][0] = r.l2EnergyPj;
+            vals[pi][1] = r.l3EnergyPj;
+            vals[pi][2] = r.cycles;
+            vals[pi][3] = r.dramTrafficLines;
+            if (policies[pi] == PolicyKind::SlipAbp) {
+                abp2 = double(r.l2.insertClass[0]) /
+                       double(r.l2.insertions + r.l2.bypasses);
+                abp3 = double(r.l3.insertClass[0]) /
+                       double(r.l3.insertions + r.l3.bypasses);
+            }
+        }
+        auto sav = [&](int p, int m) {
+            return 100 * (1 - vals[p][m] / vals[0][m]);
+        };
+        std::printf("%-10s | %5.1f%% %5.1f%% | %5.1f%% %5.1f%% | "
+                    "%+6.2f%% %+6.2f%% | %5.0f%% %5.0f%% | %4.0f%% "
+                    "%4.0f%%\n",
+                    bench.c_str(), sav(3, 0), sav(4, 0), sav(3, 1),
+                    sav(4, 1), 100 * (vals[0][2] / vals[4][2] - 1),
+                    100 * (vals[4][3] / vals[0][3] - 1), sav(1, 0),
+                    sav(2, 0), 100 * abp2, 100 * abp3);
+        aSL2 += sav(3, 0);
+        aSAL2 += sav(4, 0);
+        aSL3 += sav(3, 1);
+        aSAL3 += sav(4, 1);
+        aspd += 100 * (vals[0][2] / vals[4][2] - 1);
+        adram += 100 * (vals[4][3] / vals[0][3] - 1);
+        aNR += sav(1, 0);
+        aLP += sav(2, 0);
+        cnt++;
+    }
+    std::printf("%-10s | %5.1f%% %5.1f%% | %5.1f%% %5.1f%% | %+6.2f%% "
+                "%+6.2f%% | %5.0f%% %5.0f%%\n",
+                "AVERAGE", aSL2 / cnt, aSAL2 / cnt, aSL3 / cnt,
+                aSAL3 / cnt, aspd / cnt, adram / cnt, aNR / cnt,
+                aLP / cnt);
+    std::printf("paper:     | 21%%  35%%  | 13%%  22%%  | +0.75%% "
+                "-2.2%% | -84%% -79%%\n");
+    return 0;
 }
