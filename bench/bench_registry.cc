@@ -8,6 +8,7 @@
 #include <future>
 #include <string>
 
+#include "perf/perf_counters.hh"
 #include "util/logging.hh"
 
 namespace slip {
@@ -38,6 +39,8 @@ usage(const char *argv0)
         "  --cache DIR       result cache directory "
         "(= SLIP_BENCH_CACHE)\n"
         "  --timing-json F   write sweep timing record to F\n"
+        "  --profile F       enable the per-phase simulator counters\n"
+        "                    and write their JSON dump to F\n"
         "  --no-progress     suppress per-run progress lines\n",
         argv0);
 }
@@ -94,6 +97,7 @@ benchOrchestratorMain(int argc, char **argv)
     bool progress = true;
     std::string only;
     std::string timing_json;
+    std::string profile_json;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -119,6 +123,8 @@ benchOrchestratorMain(int argc, char **argv)
             ::setenv("SLIP_BENCH_CACHE", value(), 1);
         } else if (arg == "--timing-json") {
             timing_json = value();
+        } else if (arg == "--profile") {
+            profile_json = value();
         } else if (arg == "--no-progress") {
             progress = false;
         } else if (arg == "--help" || arg == "-h") {
@@ -144,7 +150,13 @@ benchOrchestratorMain(int argc, char **argv)
     std::vector<const BenchFigure *> selected;
     if (only.empty()) {
         for (const auto &f : all)
-            selected.push_back(&f);
+            if (f.byDefault)
+                selected.push_back(&f);
+        // A binary holding only opt-out figures (the standalone
+        // micro_eou) still runs them when invoked bare.
+        if (selected.empty())
+            for (const auto &f : all)
+                selected.push_back(&f);
     } else {
         std::string rest = only;
         while (!rest.empty()) {
@@ -167,6 +179,11 @@ benchOrchestratorMain(int argc, char **argv)
     if (jobs_set)
         configureSweepRunner(jobs);
     SweepRunner &runner = sweepRunner();
+
+    if (!profile_json.empty()) {
+        perf::reset();
+        perf::setEnabled(true);
+    }
 
     if (progress) {
         runner.setProgress([](const SweepRunner::RunRecord &rec) {
@@ -209,6 +226,16 @@ benchOrchestratorMain(int argc, char **argv)
     if (!timing_json.empty())
         writeTimingJson(timing_json, runner.jobs(), st,
                         runner.records(), wall);
+    if (!profile_json.empty()) {
+        // Counters aggregate across every worker thread and run; all
+        // sweep work is done at this point. Cached runs contribute no
+        // simulator time, so profile against a cold cache.
+        std::ofstream os(profile_json);
+        perf::writeJson(os, perf::snapshot());
+        if (!os.good())
+            warn("could not write profile to %s",
+                 profile_json.c_str());
+    }
 
     // Phase 2: render every figure against the memoized sweep.
     int rc = 0;

@@ -36,6 +36,8 @@ struct BenchFigure
     const char *title;  ///< one-line description for --list
     void (*plan)(std::vector<RunSpec> &out);
     int (*render)();
+    /** Rendered without --only? The microbenchmarks opt out. */
+    bool byDefault = true;
 };
 
 /** Register @p fig (called from static initializers). */

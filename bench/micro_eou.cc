@@ -9,6 +9,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_registry.hh"
 #include "cache/cache_level.hh"
 #include "energy/energy_params.hh"
 #include "slip/eou.hh"
@@ -89,7 +90,31 @@ BM_WorkloadGeneration(benchmark::State &state)
 }
 BENCHMARK(BM_WorkloadGeneration);
 
+/**
+ * Registered like the figures so `slip-bench --only micro_eou` (or
+ * the standalone binary) runs the microbenchmarks; they need no
+ * simulated runs, so the plan is empty and the sweep degenerates to
+ * nothing. byDefault=false keeps minutes of google-benchmark timing
+ * out of the default all-figures render — the micros run only when
+ * named explicitly.
+ */
+int
+render()
+{
+    // google-benchmark consumes argv; we run with defaults (the
+    // orchestrator already parsed the real command line).
+    int argc = 1;
+    char name[] = "micro_eou";
+    char *argv[] = {name, nullptr};
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}
+
+const bench::BenchFigureRegistrar reg{
+    {"micro_eou", "Microbenchmarks: EOU, lookup, fill, generation",
+     [](std::vector<RunSpec> &) {}, &render, /*byDefault=*/false}};
+
 } // namespace
 } // namespace slip
-
-BENCHMARK_MAIN();

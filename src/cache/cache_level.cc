@@ -1,6 +1,7 @@
 #include "cache/cache_level.hh"
 
 #include <algorithm>
+#include <bit>
 
 #include "util/logging.hh"
 
@@ -19,7 +20,10 @@ CacheLevel::CacheLevel(const CacheLevelConfig &cfg)
                                   (std::uint64_t(cfg.ways) * kLineSize));
     slip_assert(isPowerOf2(_sets), "set count %u not a power of two",
                 _sets);
+    _setMask = _sets - 1;
     _lines.resize(std::size_t(_sets) * cfg.ways);
+    _tags.assign(_lines.size(), kNoTag);
+    _validMask.assign(_sets, 0);
     _repl = ReplacementPolicy::create(cfg.repl, cfg.seed);
 
     // T wraps every 4C accesses; TL is the top timestampBits of T.
@@ -28,12 +32,26 @@ CacheLevel::CacheLevel(const CacheLevelConfig &cfg)
     slip_assert(time_bits >= cfg.timestampBits,
                 "timestamp wider than wrapped counter");
     _tlShift = time_bits - cfg.timestampBits;
+
+    // Sublevel way-mask and cumulative-capacity tables, so the
+    // per-access queries are lookups instead of nested loops.
+    std::uint32_t cum_mask = 0;
+    unsigned way = 0;
+    std::uint64_t cum_ways = 0;
+    for (unsigned sl = 0; sl < kNumSublevels; ++sl) {
+        _slMaskCum[sl] = cum_mask;
+        for (unsigned i = 0; i < _topo.sublevelWays(sl); ++i, ++way)
+            cum_mask |= 1u << way;
+        cum_ways += _topo.sublevelWays(sl);
+        _slCumLines[sl] = cum_ways * _sets;
+    }
+    _slMaskCum[kNumSublevels] = cum_mask;
 }
 
 LookupResult
 CacheLevel::lookup(Addr line, AccessClass cls)
 {
-    _time = (_time + 1) % _timeWrap;
+    _time = (_time + 1) & (_timeWrap - 1);
 
     if (cls == AccessClass::Demand)
         ++_stats.demandAccesses;
@@ -59,9 +77,12 @@ CacheLevel::peek(Addr line) const
 {
     LookupResult res;
     res.setIndex = setIndex(line);
-    const CacheLine *set = &_lines[std::size_t(res.setIndex) * _cfg.ways];
+    const Addr *tags = &_tags[std::size_t(res.setIndex) * _cfg.ways];
+    // Invalid ways carry kNoTag, which no simulated line can equal,
+    // so this is a branch-predictable straight scan the compiler can
+    // vectorize; first match in ascending way order, as before.
     for (unsigned w = 0; w < _cfg.ways; ++w) {
-        if (set[w].valid && set[w].tag == line) {
+        if (tags[w] == line) {
             res.hit = true;
             res.way = w;
             return res;
@@ -102,14 +123,7 @@ CacheLevel::sublevelMask(unsigned sl_begin, unsigned sl_end) const
 {
     slip_assert(sl_begin < sl_end && sl_end <= kNumSublevels,
                 "bad sublevel range [%u,%u)", sl_begin, sl_end);
-    std::uint32_t m = 0;
-    unsigned way = 0;
-    for (unsigned sl = 0; sl < kNumSublevels; ++sl) {
-        for (unsigned i = 0; i < _topo.sublevelWays(sl); ++i, ++way)
-            if (sl >= sl_begin && sl < sl_end)
-                m |= 1u << way;
-    }
-    return m;
+    return _slMaskCum[sl_end] & ~_slMaskCum[sl_begin];
 }
 
 unsigned
@@ -117,6 +131,12 @@ CacheLevel::chooseVictim(unsigned set, std::uint32_t way_mask,
                          bool prefer_demoted)
 {
     slip_assert(way_mask != 0, "empty way mask");
+    // An invalid way in the mask wins outright under every policy,
+    // lowest way first — the same answer each policy's own scan
+    // would produce, found with one bit test on the shadow mask.
+    const std::uint32_t inv = way_mask & ~_validMask[set];
+    if (inv)
+        return static_cast<unsigned>(std::countr_zero(inv));
     CacheLine *lines = setArray(set);
 
     if (prefer_demoted) {
@@ -148,6 +168,8 @@ CacheLevel::installLine(unsigned set, unsigned way, Addr line_addr,
     slip_assert(!ln.valid, "installing over a valid line");
     slip_assert(setIndex(line_addr) == set, "line/set mismatch");
 
+    slip_assert(line_addr != ~Addr{0}, "line address is the shadow "
+                "sentinel");
     ln.tag = line_addr;
     ln.valid = true;
     ln.dirty = dirty;
@@ -156,6 +178,7 @@ CacheLevel::installLine(unsigned set, unsigned way, Addr line_addr,
     ln.hitCount = 0;
     ln.demoted = false;
     _repl->onInsert(ln);
+    syncShadow(set, way);
 
     ++_stats.insertions;
     ++_stats.insertClass[static_cast<unsigned>(cls)];
@@ -178,6 +201,8 @@ CacheLevel::moveLine(unsigned set, unsigned from, unsigned to)
     dst = src;
     src.invalidate();
     _repl->onInsert(dst);
+    syncShadow(set, from);
+    syncShadow(set, to);
 
     ++_stats.movements;
     const double pj = _topo.wayAccessEnergy(from) +
@@ -214,6 +239,8 @@ CacheLevel::swapLines(unsigned set, unsigned a, unsigned b)
     std::swap(la, lb);
     _repl->onInsert(la);
     _repl->onInsert(lb);
+    syncShadow(set, a);
+    syncShadow(set, b);
 
     _stats.movements += 2;
     const double pj = 2.0 * (_topo.wayAccessEnergy(a) +
@@ -250,6 +277,7 @@ CacheLevel::evictLine(unsigned set, unsigned way)
         chargeEnergy(EnergyCat::Movement, _topo.wayAccessEnergy(way));
     }
     ln.invalidate();
+    syncShadow(set, way);
     return ev;
 }
 
@@ -267,6 +295,7 @@ CacheLevel::invalidate(Addr line, bool *was_dirty)
         *was_dirty = ln.dirty;
     ++_stats.reuseHistogram[std::min<std::uint32_t>(ln.hitCount, 3)];
     ln.invalidate();
+    syncShadow(res.setIndex, res.way);
     ++_stats.invalidations;
     return true;
 }
@@ -282,17 +311,14 @@ std::uint64_t
 CacheLevel::sublevelCumLines(unsigned sl) const
 {
     slip_assert(sl < kNumSublevels, "sublevel %u out of range", sl);
-    std::uint64_t ways = 0;
-    for (unsigned s = 0; s <= sl; ++s)
-        ways += _topo.sublevelWays(s);
-    return ways * _sets;
+    return _slCumLines[sl];
 }
 
 unsigned
 CacheLevel::rdBin(std::uint64_t rd) const
 {
     for (unsigned sl = 0; sl < kNumSublevels; ++sl)
-        if (rd < sublevelCumLines(sl))
+        if (rd < _slCumLines[sl])
             return sl;
     return kNumSublevels;
 }
@@ -310,6 +336,11 @@ CacheLevel::checkInvariants() const
     for (unsigned s = 0; s < _sets; ++s) {
         for (unsigned w = 0; w < _cfg.ways; ++w) {
             const CacheLine &ln = lineAt(s, w);
+            slip_assert(((_validMask[s] >> w) & 1) == (ln.valid ? 1u : 0u),
+                        "valid shadow out of sync at (%u, %u)", s, w);
+            slip_assert(_tags[std::size_t(s) * _cfg.ways + w] ==
+                            (ln.valid ? ln.tag : kNoTag),
+                        "tag shadow out of sync at (%u, %u)", s, w);
             if (!ln.valid)
                 continue;
             slip_assert(setIndex(ln.tag) == s,

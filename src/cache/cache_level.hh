@@ -153,10 +153,10 @@ class CacheLevel
         return std::uint64_t(_sets) * _cfg.ways;
     }
 
-    /** Set index of a line address. */
+    /** Set index of a line address (set counts are powers of two). */
     unsigned setIndex(Addr line) const
     {
-        return static_cast<unsigned>(line % _sets);
+        return static_cast<unsigned>(line & _setMask);
     }
 
     /** Mutable access to a line (controllers and tests). */
@@ -323,16 +323,53 @@ class CacheLevel
     void checkInvariants() const;
 
   private:
+    /**
+     * Shadow tag of an invalid way. No simulated line address can
+     * reach it: demand lines are bounded by the workload ranges and
+     * the metadata/PTE regions sit at fixed offsets far below 2^58
+     * (installLine asserts this), so a tag probe needs no separate
+     * validity test.
+     */
+    static constexpr Addr kNoTag = ~Addr{0};
+
+    /** Keep the tag/valid shadows in sync for (set, way). */
+    void
+    syncShadow(unsigned set, unsigned way)
+    {
+        const CacheLine &ln = lineAt(set, way);
+        _tags[std::size_t(set) * _cfg.ways + way] =
+            ln.valid ? ln.tag : kNoTag;
+        if (ln.valid)
+            _validMask[set] |= 1u << way;
+        else
+            _validMask[set] &= ~(1u << way);
+    }
+
     CacheLevelConfig _cfg;
     CacheTopology _topo;
     unsigned _sets;
+    Addr _setMask;                ///< _sets - 1
     std::vector<CacheLine> _lines;
+
+    // Tag-probe shadows of _lines: a packed tag array plus a per-set
+    // valid bitmask, so peek() touches 16 bytes per inspected way
+    // instead of a whole CacheLine. Tag/valid state changes only in
+    // installLine / moveLine / swapLines / evictLine / invalidate,
+    // which maintain these (checkInvariants verifies).
+    std::vector<Addr> _tags;
+    std::vector<std::uint32_t> _validMask;
+
     std::unique_ptr<ReplacementPolicy> _repl;
     MovementQueue _mq;
 
     std::uint64_t _time = 0;      ///< per-level access counter T
-    std::uint64_t _timeWrap;      ///< 4C
+    std::uint64_t _timeWrap;      ///< 4C (a power of two)
     unsigned _tlShift;            ///< MSB extraction shift for TL
+
+    /** sublevelMask(0, sl) for sl in [0, kNumSublevels]. */
+    std::array<std::uint32_t, kNumSublevels + 1> _slMaskCum{};
+    /** sublevelCumLines(sl) for each sublevel. */
+    std::array<std::uint64_t, kNumSublevels> _slCumLines{};
 
     CacheLevelStats _stats;
 };

@@ -1,5 +1,7 @@
 #include "cache/replacement.hh"
 
+#include <bit>
+
 #include "util/bitops.hh"
 #include "util/logging.hh"
 
@@ -38,18 +40,19 @@ LruReplacement::victim(CacheLine *set, unsigned ways,
                        std::uint32_t way_mask)
 {
     slip_assert(way_mask != 0, "empty victim mask");
-    const unsigned inv = firstInvalid(set, ways, way_mask);
-    if (inv < ways)
-        return inv;
-
+    // One ascending pass over the mask's set bits: the first invalid
+    // way wins outright (as the old two-pass scan chose), otherwise
+    // the minimum stamp with "<=" keeps the highest-numbered way on
+    // ties, which only matters for freshly reset stamps.
     unsigned best = ways;
     std::uint64_t best_stamp = ~0ull;
-    for (unsigned w = 0; w < ways; ++w) {
-        if (!((way_mask >> w) & 1))
-            continue;
+    for (std::uint32_t m = way_mask; m; m &= m - 1) {
+        const unsigned w = static_cast<unsigned>(std::countr_zero(m));
+        if (w >= ways)
+            break;
+        if (!set[w].valid)
+            return w;
         if (set[w].lruStamp <= best_stamp) {
-            // "<=" keeps the highest-numbered (furthest) way on ties,
-            // which only matters for freshly reset stamps.
             best_stamp = set[w].lruStamp;
             best = w;
         }

@@ -74,7 +74,7 @@ class CacheTopology
     unsigned sublevelWays(unsigned sl) const { return _slWays.at(sl); }
 
     /** Sublevel containing way @p way. */
-    unsigned sublevelOf(unsigned way) const { return _slOfWay.at(way); }
+    unsigned sublevelOf(unsigned way) const { return _slOfWay[way]; }
 
     /** First way index of sublevel @p sl. */
     unsigned sublevelFirstWay(unsigned sl) const;
@@ -82,11 +82,11 @@ class CacheTopology
     /** Energy (pJ) of one line read or write at way @p way. */
     double wayAccessEnergy(unsigned way) const
     {
-        return _wayEnergy.at(way);
+        return _wayEnergy[way];
     }
 
     /** Access latency (cycles) of way @p way. */
-    Cycles wayLatency(unsigned way) const { return _wayLatency.at(way); }
+    Cycles wayLatency(unsigned way) const { return _wayLatency[way]; }
 
     /**
      * Average access energy of sublevel @p sl — the Ē_i of

@@ -8,6 +8,7 @@
 #ifndef SLIP_MEM_TRACE_HH
 #define SLIP_MEM_TRACE_HH
 
+#include <algorithm>
 #include <cstddef>
 #include <vector>
 
@@ -30,6 +31,21 @@ class AccessSource
      * @return false when the source is exhausted
      */
     virtual bool next(MemAccess &out) = 0;
+
+    /**
+     * Produce up to @p max accesses into @p out, one virtual call per
+     * chunk instead of per reference (the simulator's run loop pulls
+     * through this). Generation order is identical to repeated
+     * next() calls; a short return means the source is exhausted.
+     */
+    virtual std::size_t
+    nextBatch(MemAccess *out, std::size_t max)
+    {
+        std::size_t n = 0;
+        while (n < max && next(out[n]))
+            ++n;
+        return n;
+    }
 
     /** Restart the source from the beginning, if supported. */
     virtual void reset() {}
@@ -59,6 +75,16 @@ class TraceBuffer : public AccessSource
         return true;
     }
 
+    std::size_t
+    nextBatch(MemAccess *out, std::size_t max) override
+    {
+        const std::size_t n =
+            std::min(max, _accesses.size() - _pos);
+        std::copy_n(_accesses.begin() + _pos, n, out);
+        _pos += n;
+        return n;
+    }
+
     void reset() override { _pos = 0; }
 
   private:
@@ -86,6 +112,15 @@ class LimitedSource : public AccessSource
             return false;
         ++_taken;
         return true;
+    }
+
+    std::size_t
+    nextBatch(MemAccess *out, std::size_t max) override
+    {
+        const std::size_t n =
+            _inner.nextBatch(out, std::min(max, _limit - _taken));
+        _taken += n;
+        return n;
     }
 
     void

@@ -1,0 +1,90 @@
+#include "perf/perf_counters.hh"
+
+#include <ostream>
+
+namespace slip {
+namespace perf {
+
+namespace {
+
+std::atomic<bool> g_enabled{false};
+std::atomic<std::uint64_t> g_ns[kNumPhases];
+std::atomic<std::uint64_t> g_calls[kNumPhases];
+
+const char *kPhaseNames[kNumPhases] = {
+    "workload_gen", "tlb", "rd_profile", "cache_walk", "eou", "run",
+};
+
+} // namespace
+
+const char *
+phaseName(Phase p)
+{
+    return kPhaseNames[static_cast<unsigned>(p)];
+}
+
+void
+setEnabled(bool on)
+{
+    g_enabled.store(on, std::memory_order_relaxed);
+}
+
+bool
+enabled()
+{
+    return g_enabled.load(std::memory_order_relaxed);
+}
+
+void
+reset()
+{
+    for (unsigned i = 0; i < kNumPhases; ++i) {
+        g_ns[i].store(0, std::memory_order_relaxed);
+        g_calls[i].store(0, std::memory_order_relaxed);
+    }
+}
+
+PhaseTotals
+snapshot()
+{
+    PhaseTotals t;
+    for (unsigned i = 0; i < kNumPhases; ++i) {
+        t.ns[i] = g_ns[i].load(std::memory_order_relaxed);
+        t.calls[i] = g_calls[i].load(std::memory_order_relaxed);
+    }
+    return t;
+}
+
+void
+record(Phase p, std::uint64_t ns)
+{
+    const unsigned i = static_cast<unsigned>(p);
+    g_ns[i].fetch_add(ns, std::memory_order_relaxed);
+    g_calls[i].fetch_add(1, std::memory_order_relaxed);
+}
+
+void
+writeJson(std::ostream &os, const PhaseTotals &t)
+{
+    const std::uint64_t run_ns =
+        t.ns[static_cast<unsigned>(Phase::Run)];
+    os << "{\n  \"enabled\": " << (enabled() ? "true" : "false")
+       << ",\n  \"phases\": {\n";
+    for (unsigned i = 0; i < kNumPhases; ++i) {
+        const double share =
+            run_ns ? double(t.ns[i]) / double(run_ns) : 0.0;
+        os << "    \"" << kPhaseNames[i] << "\": {\"ns\": " << t.ns[i]
+           << ", \"calls\": " << t.calls[i]
+           << ", \"share_of_run\": " << share << "}"
+           << (i + 1 < kNumPhases ? "," : "") << "\n";
+    }
+    const std::uint64_t accounted =
+        t.ns[static_cast<unsigned>(Phase::WorkloadGen)] +
+        t.ns[static_cast<unsigned>(Phase::Tlb)] +
+        t.ns[static_cast<unsigned>(Phase::CacheWalk)];
+    os << "  },\n  \"accounted_ns\": " << accounted
+       << ",\n  \"run_ns\": " << run_ns << "\n}\n";
+}
+
+} // namespace perf
+} // namespace slip

@@ -13,10 +13,9 @@
 #ifndef SLIP_RD_METADATA_STORE_HH
 #define SLIP_RD_METADATA_STORE_HH
 
-#include <unordered_map>
-
 #include "mem/types.hh"
 #include "rd/rd_distribution.hh"
+#include "util/flat_map.hh"
 
 namespace slip {
 
@@ -48,10 +47,8 @@ class MetadataStore
     PageMetadata &
     page(Addr page_num)
     {
-        auto it = _pages.find(page_num);
-        if (it == _pages.end())
-            it = _pages.emplace(page_num, PageMetadata(_binBits)).first;
-        return it->second;
+        return _pages.getOrCreate(
+            page_num, [this] { return PageMetadata(_binBits); });
     }
 
     /**
@@ -77,7 +74,7 @@ class MetadataStore
   private:
     unsigned _binBits;
     Addr _base;
-    std::unordered_map<Addr, PageMetadata> _pages;
+    PageMap<PageMetadata> _pages;
 };
 
 } // namespace slip

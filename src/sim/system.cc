@@ -4,6 +4,7 @@
 
 #include "nuca/lru_pea.hh"
 #include "nuca/nurapid.hh"
+#include "perf/perf_counters.hh"
 #include "slip/slip_controller.hh"
 #include "util/logging.hh"
 
@@ -40,8 +41,11 @@ defaultPolicies()
 } // namespace
 
 System::System(const SystemConfig &cfg)
-    : _cfg(cfg), _dram(cfg.tech), _pageTable(defaultPolicies()),
-      _metadata(cfg.rdBinBits),
+    : _cfg(cfg), _isSlip(isSlipPolicy(cfg.policy)),
+      _samplingAlways(cfg.samplingMode == SamplingMode::Always),
+      _l1RefPj(cfg.l1HitsPerMiss * cfg.tech.l1AccessPj),
+      _rdBlockPages(cfg.rdBlockPages), _dram(cfg.tech),
+      _pageTable(defaultPolicies()), _metadata(cfg.rdBinBits),
       _sampling(cfg.nsamp, cfg.nstab,
                 cfg.samplingMode == SamplingMode::TimeBased,
                 cfg.seed * 977 + 13)
@@ -156,13 +160,13 @@ System::pageCtx(Addr page)
 {
     PageCtx ctx;
     ctx.page = page;
-    if (!isSlipPolicy(_cfg.policy)) {
+    if (!_isSlip) {
         ctx.policies = defaultPolicies();
         return ctx;
     }
     const Pte &pte = _pageTable.pte(rdBlock(page));
     ctx.policies = pte.policies;
-    if (_cfg.samplingMode == SamplingMode::Always) {
+    if (_samplingAlways) {
         ctx.collectRd = true;
         ctx.useDefault = false;
     } else {
@@ -175,7 +179,8 @@ System::pageCtx(Addr page)
 void
 System::recordRd(const PageCtx &ctx, unsigned level_idx, int bin)
 {
-    if (!ctx.collectRd || !isSlipPolicy(_cfg.policy) || bin < 0)
+    perf::ScopedPhase profile_scope(perf::Phase::RdProfile);
+    if (!ctx.collectRd || !_isSlip || bin < 0)
         return;
     _metadata.page(rdBlock(ctx.page)).dist[level_idx].record(
         static_cast<unsigned>(bin));
@@ -194,9 +199,9 @@ System::handleTlbMiss(Core &core, Addr page)
         lat += metadataAccess(core, _pageTable.pteLine(page), false,
                               AccessClass::Demand);
 
-    if (isSlipPolicy(_cfg.policy)) {
+    if (_isSlip) {
         const Addr mline = _metadata.metadataLine(block);
-        if (_cfg.samplingMode == SamplingMode::Always) {
+        if (_samplingAlways) {
             // Pre-sampling design: fetch the distribution and rerun
             // the EOU on every TLB miss (Section 4.1's traffic
             // problem, the tbl_sampling_traffic ablation).
@@ -204,10 +209,13 @@ System::handleTlbMiss(Core &core, Addr page)
                                   AccessClass::Metadata);
             const PageMetadata &md = _metadata.page(block);
             PolicyPair fresh;
-            fresh.code[kSlipL2] =
-                _eouL2->optimize(md.dist[kSlipL2].bins());
-            fresh.code[kSlipL3] =
-                _eouL3->optimize(md.dist[kSlipL3].bins());
+            {
+                perf::ScopedPhase eou_scope(perf::Phase::Eou);
+                fresh.code[kSlipL2] =
+                    _eouL2->optimize(md.dist[kSlipL2].bins());
+                fresh.code[kSlipL3] =
+                    _eouL3->optimize(md.dist[kSlipL3].bins());
+            }
             if (!(fresh == pte.policies)) {
                 pte.policies = fresh;
                 pte.dirty = true;
@@ -230,10 +238,13 @@ System::handleTlbMiss(Core &core, Addr page)
                 // Transition to stable: recompute the page's SLIPs.
                 const PageMetadata &md = _metadata.page(block);
                 PolicyPair fresh;
-                fresh.code[kSlipL2] =
-                    _eouL2->optimize(md.dist[kSlipL2].bins());
-                fresh.code[kSlipL3] =
-                    _eouL3->optimize(md.dist[kSlipL3].bins());
+                {
+                    perf::ScopedPhase eou_scope(perf::Phase::Eou);
+                    fresh.code[kSlipL2] =
+                        _eouL2->optimize(md.dist[kSlipL2].bins());
+                    fresh.code[kSlipL3] =
+                        _eouL3->optimize(md.dist[kSlipL3].bins());
+                }
                 if (!(fresh == pte.policies)) {
                     pte.policies = fresh;
                     pte.dirty = true;
@@ -251,8 +262,7 @@ System::handleTlbMiss(Core &core, Addr page)
     Addr evicted = 0;
     if (core.tlb.insert(page, evicted)) {
         Pte &epte = _pageTable.pte(rdBlock(evicted));
-        if (isSlipPolicy(_cfg.policy) && epte.sampling &&
-            _cfg.samplingMode == SamplingMode::TimeBased) {
+        if (_isSlip && epte.sampling && !_samplingAlways) {
             // Write the evicted page's distribution back (off the
             // critical path of the missing access).
             metadataAccess(core,
@@ -295,13 +305,11 @@ System::metadataAccess(Core &core, Addr line, bool is_write,
             else
                 _dram.access(false);
             lat += _dram.latency();
-            std::vector<Eviction> evs;
-            _l3ctrl->fill(line, false, ctx, evs);
-            drainL3Evictions(evs);
+            _l3ctrl->fill(line, false, ctx, _evsL3);
+            drainL3Evictions(_evsL3);
         }
-        std::vector<Eviction> evs2;
-        core.l2ctrl->fill(line, false, ctx, evs2);
-        drainL2Evictions(core, evs2);
+        core.l2ctrl->fill(line, false, ctx, _evsL2);
+        drainL2Evictions(core, _evsL2);
         return lat;
     }
 
@@ -341,14 +349,12 @@ System::demandFetch(Core &core, Addr line, const PageCtx &ctx)
         recordRd(ctx, kSlipL3, static_cast<int>(kNumSublevels));
         lat += _l3->topology().baselineLatency();
         lat += _dram.access(false);
-        std::vector<Eviction> evs;
-        _l3ctrl->fill(line, false, ctx, evs);
-        drainL3Evictions(evs);
+        _l3ctrl->fill(line, false, ctx, _evsL3);
+        drainL3Evictions(_evsL3);
     }
 
-    std::vector<Eviction> evs2;
-    core.l2ctrl->fill(line, false, ctx, evs2);
-    drainL2Evictions(core, evs2);
+    core.l2ctrl->fill(line, false, ctx, _evsL2);
+    drainL2Evictions(core, _evsL2);
     return lat;
 }
 
@@ -363,9 +369,8 @@ System::writebackToL2(Core &core, Addr line)
         core.l2->recordWriteback(lr.setIndex, lr.way);
         return;
     }
-    std::vector<Eviction> evs;
-    core.l2ctrl->fill(line, true, ctx, evs);
-    drainL2Evictions(core, evs);
+    core.l2ctrl->fill(line, true, ctx, _evsL2);
+    drainL2Evictions(core, _evsL2);
 }
 
 void
@@ -381,9 +386,8 @@ System::writebackToL3(Core &core, Addr line, PolicyPair policies)
         _l3->recordWriteback(lr.setIndex, lr.way);
         return;
     }
-    std::vector<Eviction> evs;
-    _l3ctrl->fill(line, true, ctx, evs);
-    drainL3Evictions(evs);
+    _l3ctrl->fill(line, true, ctx, _evsL3);
+    drainL3Evictions(_evsL3);
 }
 
 void
@@ -433,16 +437,18 @@ System::access(unsigned core_id, const MemAccess &acc)
     const Addr line = lineAddr(acc.addr);
 
     Cycles lat = 0;
-    if (!core.tlb.lookup(page))
+    if (!core.tlb.lookup(page)) {
+        perf::ScopedPhase tlb_scope(perf::Phase::Tlb);
         lat += handleTlbMiss(core, page);
+    }
 
     const PageCtx ctx = pageCtx(page);
 
     // The L1-hit traffic each simulated reference stands for (the
     // generators emit the post-L1 stream; see SystemConfig).
-    core.l1->chargeEnergy(EnergyCat::Access,
-                          _cfg.l1HitsPerMiss * _cfg.tech.l1AccessPj);
+    core.l1->chargeEnergy(EnergyCat::Access, _l1RefPj);
 
+    perf::ScopedPhase walk_scope(perf::Phase::CacheWalk);
     PageCtx l1ctx;  // the L1 is SLIP-agnostic
     AccessResult r1 = core.l1ctrl->access(line, acc.isWrite(), l1ctx,
                                           AccessClass::Demand);
@@ -451,11 +457,11 @@ System::access(unsigned core_id, const MemAccess &acc)
         ++core.stats.l1Hits;
     } else {
         lat += demandFetch(core, line, ctx);
-        std::vector<Eviction> evs;
-        core.l1ctrl->fill(line, acc.isWrite(), ctx, evs);
-        for (const Eviction &ev : evs)
+        core.l1ctrl->fill(line, acc.isWrite(), ctx, _evsL1);
+        for (const Eviction &ev : _evsL1)
             if (ev.dirty)
                 writebackToL2(core, ev.lineAddr);
+        _evsL1.clear();
     }
 
     ++core.stats.accesses;
@@ -470,22 +476,43 @@ System::run(const std::vector<AccessSource *> &sources,
 {
     slip_assert(sources.size() == _cores.size(),
                 "need one source per core");
+    perf::ScopedPhase run_scope(perf::Phase::Run);
 
-    MemAccess acc;
-    for (std::uint64_t i = 0; i < warmup_per_core; ++i) {
-        for (unsigned c = 0; c < _cores.size(); ++c) {
-            if (sources[c]->next(acc))
-                access(c, acc);
-        }
-    }
+    runWindow(sources, warmup_per_core);
     if (warmup_per_core > 0)
         resetStats();
+    runWindow(sources, accesses_per_core);
+}
 
-    for (std::uint64_t i = 0; i < accesses_per_core; ++i) {
-        for (unsigned c = 0; c < _cores.size(); ++c) {
-            if (sources[c]->next(acc))
-                access(c, acc);
+void
+System::runWindow(const std::vector<AccessSource *> &sources,
+                  std::uint64_t accesses_per_core)
+{
+    // Pull references in chunks — one virtual call per core per chunk
+    // instead of per reference — then replay them in the same
+    // index-major, core-minor order the per-reference loop used.
+    // Generators only hold per-core state, so chunked generation
+    // produces the identical per-core streams.
+    constexpr std::size_t kChunk = 256;
+    const unsigned ncores = static_cast<unsigned>(_cores.size());
+    std::vector<std::vector<MemAccess>> buf(
+        ncores, std::vector<MemAccess>(kChunk));
+    std::vector<std::size_t> got(ncores, 0);
+
+    std::uint64_t remaining = accesses_per_core;
+    while (remaining > 0) {
+        const std::size_t n = static_cast<std::size_t>(
+            std::min<std::uint64_t>(kChunk, remaining));
+        {
+            perf::ScopedPhase gen_scope(perf::Phase::WorkloadGen);
+            for (unsigned c = 0; c < ncores; ++c)
+                got[c] = sources[c]->nextBatch(buf[c].data(), n);
         }
+        for (std::size_t i = 0; i < n; ++i)
+            for (unsigned c = 0; c < ncores; ++c)
+                if (i < got[c])
+                    access(c, buf[c][i]);
+        remaining -= n;
     }
 }
 

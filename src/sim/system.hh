@@ -212,11 +212,15 @@ class System
     /** TLB miss: walk, state transition, metadata fetch, EOU. */
     Cycles handleTlbMiss(Core &core, Addr page);
 
+    /** One measurement window of run(): chunked pull + interleave. */
+    void runWindow(const std::vector<AccessSource *> &sources,
+                   std::uint64_t accesses_per_core);
+
     /** rd-block of a page (Section 7 granularity extension). */
     Addr
     rdBlock(Addr page) const
     {
-        return page / _cfg.rdBlockPages;
+        return _rdBlockPages == 1 ? page : page / _rdBlockPages;
     }
 
     /** Page context for a demand access to @p page. */
@@ -250,6 +254,20 @@ class System
                           AccessClass cls);
 
     SystemConfig _cfg;
+
+    // Immutable-config values hoisted out of the per-access path.
+    bool _isSlip;
+    bool _samplingAlways;
+    double _l1RefPj;         ///< l1HitsPerMiss * l1AccessPj
+    unsigned _rdBlockPages;
+
+    // Scratch eviction lists reused across accesses so the hot path
+    // performs no allocation. One per level; a level's list is always
+    // drained (and cleared) before that level can fill again, so they
+    // never nest (see drainL2Evictions / drainL3Evictions).
+    std::vector<Eviction> _evsL1;
+    std::vector<Eviction> _evsL2;
+    std::vector<Eviction> _evsL3;
 
     std::vector<std::unique_ptr<Core>> _cores;
     std::unique_ptr<CacheLevel> _l3;

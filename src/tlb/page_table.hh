@@ -11,10 +11,9 @@
 #ifndef SLIP_TLB_PAGE_TABLE_HH
 #define SLIP_TLB_PAGE_TABLE_HH
 
-#include <unordered_map>
-
 #include "cache/line.hh"
 #include "mem/types.hh"
+#include "util/flat_map.hh"
 
 namespace slip {
 
@@ -47,13 +46,11 @@ class PageTable
     Pte &
     pte(Addr page)
     {
-        auto it = _map.find(page);
-        if (it == _map.end()) {
+        return _map.getOrCreate(page, [this] {
             Pte fresh;
             fresh.policies = _defaultPolicies;
-            it = _map.emplace(page, fresh).first;
-        }
-        return it->second;
+            return fresh;
+        });
     }
 
     /** Line address of the PTE line for @p page (8 PTEs per line). */
@@ -64,7 +61,7 @@ class PageTable
   private:
     PolicyPair _defaultPolicies;
     Addr _base;
-    std::unordered_map<Addr, Pte> _map;
+    PageMap<Pte> _map;
 };
 
 } // namespace slip

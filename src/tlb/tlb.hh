@@ -8,13 +8,22 @@
  * update (Figure 7, steps 1-4). Policy/state content itself lives in
  * the PageTable; on eviction of a sampling page the system writes its
  * distribution back.
+ *
+ * Residency is tracked in an open-addressing hash table (linear
+ * probing with backward-shift deletion) sized at 4x the entry count,
+ * so the lookup performed on every simulated reference is a multiply
+ * and one or two slot inspections. Resident pages and their recency
+ * stamps are mirrored in a packed array, so the LRU scan on insert
+ * touches exactly `entries` contiguous records rather than the whole
+ * slot array. The clock starts at 1 and each touch gets a unique
+ * stamp, making the minimum — and therefore the LRU victim — unique.
  */
 
 #ifndef SLIP_TLB_TLB_HH
 #define SLIP_TLB_TLB_HH
 
 #include <cstdint>
-#include <unordered_map>
+#include <vector>
 
 #include "mem/types.hh"
 #include "util/logging.hh"
@@ -25,7 +34,16 @@ namespace slip {
 class Tlb
 {
   public:
-    explicit Tlb(unsigned entries = 64) : _entries(entries) {}
+    explicit Tlb(unsigned entries = 64) : _entries(entries)
+    {
+        std::size_t n = 16;
+        while (n < std::size_t{entries} * 4)
+            n <<= 1;
+        _slots.assign(n, Slot{});
+        _mask = n - 1;
+        _entPage.reserve(entries);
+        _entStamp.reserve(entries);
+    }
 
     unsigned capacity() const { return _entries; }
 
@@ -34,12 +52,12 @@ class Tlb
     lookup(Addr page)
     {
         ++_accesses;
-        auto it = _map.find(page);
-        if (it == _map.end()) {
+        const std::size_t i = probe(page);
+        if (_slots[i].idx == kAbsent) {
             ++_misses;
             return false;
         }
-        it->second = ++_clock;
+        _entStamp[_slots[i].idx] = ++_clock;
         return true;
     }
 
@@ -51,19 +69,30 @@ class Tlb
     bool
     insert(Addr page, Addr &evicted)
     {
-        slip_assert(_map.find(page) == _map.end(),
+        slip_assert(_slots[probe(page)].idx == kAbsent,
                     "inserting resident page");
         bool evict = false;
-        if (_map.size() >= _entries) {
-            auto lru = _map.begin();
-            for (auto it = _map.begin(); it != _map.end(); ++it)
-                if (it->second < lru->second)
-                    lru = it;
-            evicted = lru->first;
-            _map.erase(lru);
+        if (_entPage.size() >= _entries) {
+            // The stamps are unique, so the minimum (the LRU victim)
+            // is too, and the scan order cannot matter. Written as a
+            // select so the compiler emits a branchless reduction
+            // over the packed stamp array.
+            std::uint32_t lru = 0;
+            std::uint64_t lo = _entStamp[0];
+            for (std::uint32_t e = 1; e < _entStamp.size(); ++e) {
+                const bool less = _entStamp[e] < lo;
+                lru = less ? e : lru;
+                lo = less ? _entStamp[e] : lo;
+            }
+            evicted = _entPage[lru];
+            eraseEntry(lru);
             evict = true;
         }
-        _map.emplace(page, ++_clock);
+        const std::size_t i = probe(page);
+        _slots[i].page = page;
+        _slots[i].idx = static_cast<std::uint32_t>(_entPage.size());
+        _entPage.push_back(page);
+        _entStamp.push_back(++_clock);
         return evict;
     }
 
@@ -71,7 +100,11 @@ class Tlb
     bool
     invalidate(Addr page)
     {
-        return _map.erase(page) > 0;
+        const std::size_t i = probe(page);
+        if (_slots[i].idx == kAbsent)
+            return false;
+        eraseEntry(_slots[i].idx);
+        return true;
     }
 
     /**
@@ -82,7 +115,10 @@ class Tlb
     void
     flush()
     {
-        _map.clear();
+        for (Slot &s : _slots)
+            s.idx = kAbsent;
+        _entPage.clear();
+        _entStamp.clear();
         ++_flushes;
     }
 
@@ -99,8 +135,76 @@ class Tlb
     void resetStats() { _accesses = _misses = 0; }
 
   private:
+    static constexpr std::uint32_t kAbsent = ~std::uint32_t{0};
+
+    struct Slot
+    {
+        Addr page = 0;
+        std::uint32_t idx = kAbsent;  ///< into _ent; kAbsent = empty
+    };
+
+    static std::size_t
+    hash(Addr page)
+    {
+        return static_cast<std::size_t>(
+            (page ^ (page >> 31)) * 0x9E3779B97F4A7C15ull);
+    }
+
+    /** Slot holding @p page, or the empty slot its probe ends on. */
+    std::size_t
+    probe(Addr page) const
+    {
+        std::size_t i = hash(page) & _mask;
+        while (_slots[i].idx != kAbsent && _slots[i].page != page)
+            i = (i + 1) & _mask;
+        return i;
+    }
+
+    /** Drop entry @p e: swap-with-last, then unhook its slot. */
+    void
+    eraseEntry(std::uint32_t e)
+    {
+        eraseSlot(probe(_entPage[e]));
+        const std::uint32_t last =
+            static_cast<std::uint32_t>(_entPage.size() - 1);
+        if (e != last) {
+            _entPage[e] = _entPage[last];
+            _entStamp[e] = _entStamp[last];
+            _slots[probe(_entPage[e])].idx = e;
+        }
+        _entPage.pop_back();
+        _entStamp.pop_back();
+    }
+
+    /** Backward-shift deletion keeps probe chains unbroken. */
+    void
+    eraseSlot(std::size_t hole)
+    {
+        std::size_t i = hole;
+        for (;;) {
+            i = (i + 1) & _mask;
+            if (_slots[i].idx == kAbsent)
+                break;
+            const std::size_t home = hash(_slots[i].page) & _mask;
+            // Move i into the hole unless i's probe chain starts
+            // after the hole (i.e. the hole is not on its path).
+            const std::size_t dist_hole = (hole - home) & _mask;
+            const std::size_t dist_i = (i - home) & _mask;
+            if (dist_hole <= dist_i) {
+                _slots[hole] = _slots[i];
+                hole = i;
+            }
+        }
+        _slots[hole].idx = kAbsent;
+    }
+
     unsigned _entries;
-    std::unordered_map<Addr, std::uint64_t> _map;
+    std::vector<Slot> _slots;
+    std::size_t _mask = 0;
+    /** Packed resident set (parallel arrays): the insert-time LRU
+     *  scan reduces over _entStamp alone — 8 bytes per entry. */
+    std::vector<Addr> _entPage;
+    std::vector<std::uint64_t> _entStamp;
     std::uint64_t _clock = 0;
 
     std::uint64_t _accesses = 0;

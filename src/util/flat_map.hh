@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Open-addressing hash map from page numbers to per-page records,
+ * used on the simulator's per-access hot path (page table, metadata
+ * store) in place of std::unordered_map.
+ *
+ * Design constraints, in order:
+ *  - stable references: callers hold `Pte &` / `PageMetadata &`
+ *    across further inserts, so values live in a std::deque (stable
+ *    on push_back) and the hash slots point straight at them — a
+ *    lookup is slot load then value load, with no index indirection
+ *    through the deque's block map;
+ *  - no erase: pages are never forgotten, which keeps probing to the
+ *    simple linear kind with no tombstones;
+ *  - cheap probes: keys are multiplicatively hashed (splitmix64's
+ *    finalizer constant) into a power-of-two slot array kept under
+ *    7/8 load, so a lookup is one multiply plus on average very few
+ *    16-byte slot inspections.
+ */
+
+#ifndef SLIP_UTIL_FLAT_MAP_HH
+#define SLIP_UTIL_FLAT_MAP_HH
+
+#include <cstdint>
+#include <deque>
+#include <utility>
+#include <vector>
+
+#include "mem/types.hh"
+
+namespace slip {
+
+/** Append-only open-addressing map with reference-stable values. */
+template <typename V>
+class PageMap
+{
+  public:
+    explicit PageMap(std::size_t initial_slots = 1024)
+    {
+        std::size_t n = 16;
+        while (n < initial_slots)
+            n <<= 1;
+        _slots.assign(n, Slot{});
+        _mask = n - 1;
+    }
+
+    /** Value for @p key, created via @p factory on first touch. */
+    template <typename Factory>
+    V &
+    getOrCreate(Addr key, Factory &&factory)
+    {
+        std::size_t i = probe(key);
+        if (_slots[i].val == nullptr) {
+            if ((_values.size() + 1) * 8 > _slots.size() * 7) {
+                grow();
+                i = probe(key);
+            }
+            _values.push_back(factory());
+            _slots[i].key = key;
+            _slots[i].val = &_values.back();
+        }
+        return *_slots[i].val;
+    }
+
+    /** Pointer to @p key's value, or nullptr when absent. */
+    const V *
+    find(Addr key) const
+    {
+        return _slots[probe(key)].val;
+    }
+
+    std::size_t size() const { return _values.size(); }
+
+  private:
+    struct Slot
+    {
+        Addr key = 0;
+        V *val = nullptr;  ///< nullptr marks an empty slot
+    };
+
+    static std::size_t
+    hash(Addr key)
+    {
+        return static_cast<std::size_t>(
+            (key ^ (key >> 31)) * 0x9E3779B97F4A7C15ull);
+    }
+
+    /** First slot holding @p key or the empty slot to claim for it. */
+    std::size_t
+    probe(Addr key) const
+    {
+        std::size_t i = hash(key) & _mask;
+        while (_slots[i].val != nullptr && _slots[i].key != key)
+            i = (i + 1) & _mask;
+        return i;
+    }
+
+    void
+    grow()
+    {
+        std::vector<Slot> old = std::move(_slots);
+        _slots.assign(old.size() * 2, Slot{});
+        _mask = _slots.size() - 1;
+        for (const Slot &s : old) {
+            if (s.val == nullptr)
+                continue;
+            std::size_t i = hash(s.key) & _mask;
+            while (_slots[i].val != nullptr)
+                i = (i + 1) & _mask;
+            _slots[i] = s;
+        }
+    }
+
+    std::vector<Slot> _slots;
+    std::size_t _mask = 0;
+    std::deque<V> _values;
+};
+
+} // namespace slip
+
+#endif // SLIP_UTIL_FLAT_MAP_HH

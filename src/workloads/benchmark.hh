@@ -62,11 +62,19 @@ class Workload : public AccessSource
 
     bool next(MemAccess &out) override;
 
+    std::size_t nextBatch(MemAccess *out, std::size_t max) override;
+
     void reset() override;
 
   private:
+    /** The body of next(), shared with the batched fill. */
+    void generateOne(MemAccess &out);
+
     /** Pick a component index by the current phase's weights. */
     std::size_t pickComponent();
+
+    /** Cached per-phase weight totals (recomputed on layout change). */
+    const std::vector<double> &phaseTotals();
 
     std::string _name;
     double _writeFraction;
@@ -75,6 +83,9 @@ class Workload : public AccessSource
 
     std::vector<std::unique_ptr<Pattern>> _components;
     std::vector<Phase> _phases;
+
+    std::vector<double> _phaseTotals;
+    std::size_t _phaseTotalsComponents = 0;
 
     std::size_t _phaseIdx = 0;
     std::uint64_t _phasePos = 0;
@@ -95,6 +106,15 @@ class OffsetSource : public AccessSource
             return false;
         out.addr += _offset;
         return true;
+    }
+
+    std::size_t
+    nextBatch(MemAccess *out, std::size_t max) override
+    {
+        const std::size_t n = _inner->nextBatch(out, max);
+        for (std::size_t i = 0; i < n; ++i)
+            out[i].addr += _offset;
+        return n;
     }
 
     void reset() override { _inner->reset(); }

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Golden-reference regression tests: every SPEC-suite workload is
+ * simulated under the Baseline and Slip policies at a reduced
+ * reference length and the full stats dump is compared byte-for-byte
+ * against fixtures checked into tests/golden/.
+ *
+ * The fixtures were generated from the tree *before* the hot-path
+ * rewrite of the per-access simulation loop, so these tests are the
+ * proof that the rewrite changed no simulated outcome. When a
+ * behaviour change is intentional, regenerate with
+ *
+ *   SLIP_GOLDEN_REGEN=1 ./tests/golden_stats_test
+ *
+ * and commit the updated fixtures together with the change that
+ * explains them (see EXPERIMENTS.md, "Profiling and regression
+ * fixtures").
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sim/stats_dump.hh"
+#include "sim/system.hh"
+#include "workloads/spec_suite.hh"
+
+#ifndef SLIP_GOLDEN_DIR
+#error "SLIP_GOLDEN_DIR must point at tests/golden"
+#endif
+
+namespace slip {
+namespace {
+
+/** Reduced reference counts: large enough to exercise sampling-state
+ *  transitions, TLB pressure, and both EOUs; small enough that all 28
+ *  runs finish in seconds. */
+constexpr std::uint64_t kGoldenRefs = 40000;
+constexpr std::uint64_t kGoldenWarmup = 40000;
+
+std::string
+fixturePath(const std::string &benchmark, PolicyKind policy)
+{
+    return std::string(SLIP_GOLDEN_DIR) + "/" + benchmark + "." +
+           policyName(policy) + ".txt";
+}
+
+/** FNV-1a, printed on mismatch so CI logs identify fixture versions. */
+std::uint64_t
+fnv1a(const std::string &s)
+{
+    std::uint64_t h = 1469598103934665603ull;
+    for (unsigned char c : s) {
+        h ^= c;
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
+std::string
+simulate(const std::string &benchmark, PolicyKind policy)
+{
+    SystemConfig cfg;
+    cfg.policy = policy;
+    auto w = makeSpecWorkload(benchmark);
+    System sys(cfg);
+    sys.run({w.get()}, kGoldenRefs, kGoldenWarmup);
+    std::ostringstream os;
+    dumpStats(sys, os);
+    return os.str();
+}
+
+/** Line-by-line diff capped at @p max_lines reported differences. */
+std::string
+readableDiff(const std::string &want, const std::string &got,
+             unsigned max_lines = 12)
+{
+    std::istringstream ws(want), gs(got);
+    std::string wl, gl, out;
+    unsigned lineno = 0, shown = 0;
+    while (shown < max_lines) {
+        const bool wok = static_cast<bool>(std::getline(ws, wl));
+        const bool gok = static_cast<bool>(std::getline(gs, gl));
+        ++lineno;
+        if (!wok && !gok)
+            break;
+        if (!wok)
+            wl = "<end of fixture>";
+        if (!gok)
+            gl = "<end of output>";
+        if (wl != gl) {
+            out += "  line " + std::to_string(lineno) + ":\n";
+            out += "    fixture: " + wl + "\n";
+            out += "    got:     " + gl + "\n";
+            ++shown;
+        }
+        if (!wok || !gok)
+            break;
+    }
+    return out.empty() ? std::string("  (no line differences?)") : out;
+}
+
+class GoldenStatsTest
+    : public ::testing::TestWithParam<
+          std::tuple<std::string, PolicyKind>>
+{};
+
+TEST_P(GoldenStatsTest, MatchesFixture)
+{
+    const std::string &benchmark = std::get<0>(GetParam());
+    const PolicyKind policy = std::get<1>(GetParam());
+    const std::string path = fixturePath(benchmark, policy);
+    const std::string got = simulate(benchmark, policy);
+
+    if (std::getenv("SLIP_GOLDEN_REGEN")) {
+        std::ofstream os(path, std::ios::binary);
+        ASSERT_TRUE(os.good()) << "cannot write fixture " << path;
+        os << got;
+        ASSERT_TRUE(os.good()) << "short write to " << path;
+        GTEST_SKIP() << "regenerated " << path;
+    }
+
+    std::ifstream is(path, std::ios::binary);
+    ASSERT_TRUE(is.good())
+        << "missing fixture " << path
+        << " — run SLIP_GOLDEN_REGEN=1 ./tests/golden_stats_test";
+    std::ostringstream buf;
+    buf << is.rdbuf();
+    const std::string want = buf.str();
+
+    EXPECT_EQ(want, got)
+        << "stats dump diverged from golden fixture " << path << "\n"
+        << "  fixture fnv1a: " << std::hex << fnv1a(want) << "\n"
+        << "  output  fnv1a: " << fnv1a(got) << std::dec << "\n"
+        << readableDiff(want, got);
+}
+
+std::vector<std::tuple<std::string, PolicyKind>>
+goldenCases()
+{
+    std::vector<std::tuple<std::string, PolicyKind>> cases;
+    for (const auto &b : specBenchmarks())
+        for (PolicyKind p : {PolicyKind::Baseline, PolicyKind::Slip})
+            cases.emplace_back(b, p);
+    return cases;
+}
+
+std::string
+caseName(const ::testing::TestParamInfo<
+         std::tuple<std::string, PolicyKind>> &info)
+{
+    std::string n = std::get<0>(info.param);
+    for (char &c : n)
+        if (!std::isalnum(static_cast<unsigned char>(c)))
+            c = '_';
+    return n + "_" + policyName(std::get<1>(info.param));
+}
+
+INSTANTIATE_TEST_SUITE_P(SpecSuite, GoldenStatsTest,
+                         ::testing::ValuesIn(goldenCases()), caseName);
+
+/** The suite must cover exactly the paper's 14 workloads; a new
+ *  benchmark must come with a fixture. */
+TEST(GoldenStatsTest, CoversFourteenWorkloads)
+{
+    EXPECT_EQ(specBenchmarks().size(), 14u);
+}
+
+} // namespace
+} // namespace slip

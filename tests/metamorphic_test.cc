@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Metamorphic invariant tests over the statistics the paper's figures
+ * are rendered from. Unlike the golden fixtures (which pin exact
+ * values), these check relations that must hold for *any* correct
+ * simulation, so they survive intentional recalibrations:
+ *
+ *  - energy-breakdown components sum to the reported totals,
+ *  - per-level hits + misses equal accesses (and the per-sublevel
+ *    splits sum to the level totals),
+ *  - an inclusive L3 never leaves an L1/L2 line without an L3 copy,
+ *  - sweep results are identical for any --jobs value.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "sim/system.hh"
+#include "sweep/sweep_runner.hh"
+#include "workloads/spec_suite.hh"
+
+namespace slip {
+namespace {
+
+constexpr std::uint64_t kRefs = 30000;
+constexpr std::uint64_t kWarmup = 30000;
+
+System &
+runSystem(System &sys, const std::string &benchmark)
+{
+    auto w = makeSpecWorkload(benchmark);
+    sys.run({w.get()}, kRefs, kWarmup);
+    return sys;
+}
+
+void
+checkLevelCountInvariants(const std::string &what,
+                          const CacheLevelStats &s)
+{
+    SCOPED_TRACE(what);
+    // hits + misses == accesses, for demand and metadata traffic.
+    EXPECT_EQ(s.demandHits + s.demandMisses(), s.demandAccesses);
+    EXPECT_LE(s.demandHits, s.demandAccesses);
+    EXPECT_LE(s.metadataHits, s.metadataAccesses);
+    EXPECT_EQ(s.missesTotal(), (s.demandAccesses - s.demandHits) +
+                                   (s.metadataAccesses - s.metadataHits));
+
+    // Every sublevel-serviced hit is a demand hit. The remainder of
+    // demandHits are writeback probes, which update a resident line
+    // in place without a sublevel read.
+    std::uint64_t sublevel_hits = 0;
+    for (unsigned i = 0; i < kNumSublevels; ++i)
+        sublevel_hits += s.sublevelHits[i];
+    EXPECT_LE(sublevel_hits, s.demandHits);
+
+    // Every insertion lands in exactly one sublevel and one class.
+    std::uint64_t sublevel_ins = 0;
+    for (unsigned i = 0; i < kNumSublevels; ++i)
+        sublevel_ins += s.sublevelInsertions[i];
+    EXPECT_EQ(sublevel_ins, s.insertions);
+    std::uint64_t class_ins = 0;
+    for (unsigned i = 0; i < s.insertClass.size(); ++i)
+        class_ins += s.insertClass[i];
+    EXPECT_EQ(class_ins, s.insertions + s.bypasses);
+}
+
+void
+checkEnergyInvariants(System &sys)
+{
+    // Per-level totals are the sum of the category breakdown.
+    for (unsigned c = 0; c < sys.numCores(); ++c) {
+        for (const CacheLevelStats *s :
+             {&sys.l1(c).stats(), &sys.l2(c).stats()}) {
+            double cat_sum = 0;
+            for (double e : s->energyPj)
+                cat_sum += e;
+            EXPECT_DOUBLE_EQ(cat_sum, s->totalEnergyPj());
+        }
+    }
+
+    // The full-system figure is the sum of its reported components.
+    const double component_sum =
+        sys.instructions() * sys.config().tech.corePjPerInstr +
+        sys.l1EnergyPj() + sys.l2EnergyPj() + sys.l3EnergyPj() +
+        sys.dram().energyPj();
+    EXPECT_NEAR(sys.fullSystemEnergyPj(), component_sum,
+                1e-9 * component_sum);
+}
+
+class MetamorphicPolicyTest
+    : public ::testing::TestWithParam<PolicyKind>
+{};
+
+TEST_P(MetamorphicPolicyTest, CountAndEnergyInvariants)
+{
+    for (const std::string benchmark : {"soplex", "mcf", "lbm"}) {
+        SCOPED_TRACE(benchmark);
+        SystemConfig cfg;
+        cfg.policy = GetParam();
+        System sys(cfg);
+        runSystem(sys, benchmark);
+
+        for (unsigned c = 0; c < sys.numCores(); ++c) {
+            checkLevelCountInvariants("l1", sys.l1(c).stats());
+            checkLevelCountInvariants("l2", sys.l2(c).stats());
+        }
+        checkLevelCountInvariants("l3", sys.l3().stats());
+        checkEnergyInvariants(sys);
+        sys.checkInvariants();
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPolicies, MetamorphicPolicyTest,
+    ::testing::Values(PolicyKind::Baseline, PolicyKind::NuRapid,
+                      PolicyKind::LruPea, PolicyKind::Slip,
+                      PolicyKind::SlipAbp),
+    [](const ::testing::TestParamInfo<PolicyKind> &info) {
+        std::string name(policyName(info.param));
+        for (char &c : name)
+            if (!std::isalnum(static_cast<unsigned char>(c)))
+                c = '_';
+        return name;
+    });
+
+/** Inclusive L3: no valid L1/L2 line without an L3 copy at the end of
+ *  a run (back-invalidations must have kept the hierarchy inclusive). */
+TEST(MetamorphicInclusionTest, InclusiveL3HoldsAtEpochBoundary)
+{
+    for (PolicyKind policy : {PolicyKind::Baseline, PolicyKind::Slip}) {
+        SCOPED_TRACE(policyName(policy));
+        SystemConfig cfg;
+        cfg.policy = policy;
+        cfg.inclusiveL3 = true;
+        System sys(cfg);
+        runSystem(sys, "soplex");
+
+        std::uint64_t upper_lines = 0;
+        for (unsigned c = 0; c < sys.numCores(); ++c) {
+            for (CacheLevel *lvl : {&sys.l1(c), &sys.l2(c)}) {
+                for (unsigned s = 0; s < lvl->numSets(); ++s) {
+                    for (unsigned w = 0; w < lvl->numWays(); ++w) {
+                        const CacheLine &ln = lvl->lineAt(s, w);
+                        if (!ln.valid)
+                            continue;
+                        ++upper_lines;
+                        EXPECT_TRUE(sys.l3().peek(ln.tag).hit)
+                            << lvl->name() << " holds line 0x"
+                            << std::hex << ln.tag
+                            << " absent from the inclusive L3";
+                    }
+                }
+            }
+        }
+        EXPECT_GT(upper_lines, 0u) << "vacuous inclusion check";
+    }
+}
+
+/** The paper's figures must not depend on the sweep's parallelism:
+ *  any --jobs value yields byte-identical results. */
+TEST(MetamorphicJobsTest, ResultsIdenticalForAnyJobsValue)
+{
+    SweepOptions opts;
+    opts.refs = kRefs;
+    opts.warmup = kWarmup;
+
+    std::vector<RunSpec> specs;
+    for (const std::string b : {"soplex", "mcf", "milc", "bzip2"})
+        for (PolicyKind p : {PolicyKind::Baseline, PolicyKind::Slip})
+            specs.push_back(RunSpec::single(b, p, opts));
+    specs.push_back(
+        RunSpec::mix("soplex", "mcf", PolicyKind::Slip, opts));
+
+    std::vector<std::string> reference;
+    for (unsigned jobs : {1u, 4u}) {
+        SweepRunner runner(jobs, ResultCache::disabled());
+        std::vector<std::shared_future<RunResult>> futs;
+        for (const auto &s : specs)
+            futs.push_back(runner.enqueue(s));
+        std::vector<std::string> serialized;
+        for (auto &f : futs)
+            serialized.push_back(runResultToString(f.get()));
+        if (reference.empty()) {
+            reference = serialized;
+        } else {
+            for (std::size_t i = 0; i < specs.size(); ++i)
+                EXPECT_EQ(reference[i], serialized[i])
+                    << specs[i].label() << " diverged at jobs=" << jobs;
+        }
+    }
+}
+
+} // namespace
+} // namespace slip

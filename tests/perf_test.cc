@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Tests of the src/perf/ scoped-counter subsystem: disabled-by-default
+ * behaviour, per-phase accumulation through a real System::run, and
+ * the JSON schema `slip-bench --profile` emits.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <thread>
+
+#include "perf/perf_counters.hh"
+#include "sim/system.hh"
+#include "workloads/spec_suite.hh"
+
+namespace slip {
+namespace {
+
+class PerfTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        perf::setEnabled(false);
+        perf::reset();
+    }
+    void TearDown() override
+    {
+        perf::setEnabled(false);
+        perf::reset();
+    }
+};
+
+TEST_F(PerfTest, DisabledByDefaultAndScopesAreFree)
+{
+    EXPECT_FALSE(perf::enabled());
+    {
+        perf::ScopedPhase s(perf::Phase::CacheWalk);
+    }
+    const auto t = perf::snapshot();
+    for (unsigned i = 0; i < perf::kNumPhases; ++i) {
+        EXPECT_EQ(t.ns[i], 0u);
+        EXPECT_EQ(t.calls[i], 0u);
+    }
+}
+
+TEST_F(PerfTest, RecordAccumulates)
+{
+    perf::record(perf::Phase::Eou, 100);
+    perf::record(perf::Phase::Eou, 50);
+    const auto t = perf::snapshot();
+    EXPECT_EQ(t.ns[unsigned(perf::Phase::Eou)], 150u);
+    EXPECT_EQ(t.calls[unsigned(perf::Phase::Eou)], 2u);
+}
+
+TEST_F(PerfTest, SystemRunPopulatesEveryHotPhase)
+{
+    perf::setEnabled(true);
+    SystemConfig cfg;
+    cfg.policy = PolicyKind::Slip;
+    System sys(cfg);
+    auto w = makeSpecWorkload("mcf");
+    sys.run({w.get()}, 30000, 10000);
+
+    const auto t = perf::snapshot();
+    for (perf::Phase p :
+         {perf::Phase::WorkloadGen, perf::Phase::Tlb,
+          perf::Phase::RdProfile, perf::Phase::CacheWalk,
+          perf::Phase::Eou, perf::Phase::Run}) {
+        EXPECT_GT(t.calls[unsigned(p)], 0u)
+            << "phase " << perf::phaseName(p) << " never entered";
+        EXPECT_GT(t.ns[unsigned(p)], 0u)
+            << "phase " << perf::phaseName(p) << " accumulated no time";
+    }
+
+    // Run is the denominator: it must dominate every nested phase.
+    const std::uint64_t run = t.ns[unsigned(perf::Phase::Run)];
+    for (unsigned i = 0; i < perf::kNumPhases; ++i)
+        EXPECT_LE(t.ns[i], run) << perf::phaseName(perf::Phase(i));
+}
+
+TEST_F(PerfTest, CountersAggregateAcrossThreads)
+{
+    perf::setEnabled(true);
+    std::thread a([] { perf::record(perf::Phase::Tlb, 10); });
+    std::thread b([] { perf::record(perf::Phase::Tlb, 20); });
+    a.join();
+    b.join();
+    const auto t = perf::snapshot();
+    EXPECT_EQ(t.ns[unsigned(perf::Phase::Tlb)], 30u);
+    EXPECT_EQ(t.calls[unsigned(perf::Phase::Tlb)], 2u);
+}
+
+TEST_F(PerfTest, JsonSchema)
+{
+    perf::setEnabled(true);
+    perf::record(perf::Phase::Run, 1000);
+    perf::record(perf::Phase::CacheWalk, 600);
+    perf::record(perf::Phase::WorkloadGen, 150);
+    perf::record(perf::Phase::Tlb, 100);
+
+    std::ostringstream os;
+    perf::writeJson(os, perf::snapshot());
+    const std::string j = os.str();
+
+    EXPECT_NE(j.find("\"enabled\": true"), std::string::npos) << j;
+    for (unsigned i = 0; i < perf::kNumPhases; ++i)
+        EXPECT_NE(j.find("\"" + std::string(perf::phaseName(
+                             perf::Phase(i))) + "\""),
+                  std::string::npos)
+            << j;
+    EXPECT_NE(j.find("\"run_ns\": 1000"), std::string::npos) << j;
+    EXPECT_NE(j.find("\"accounted_ns\": 850"), std::string::npos) << j;
+    EXPECT_NE(j.find("\"share_of_run\": 0.6"), std::string::npos) << j;
+}
+
+} // namespace
+} // namespace slip
