@@ -6,9 +6,14 @@
 #include <cstring>
 #include <fstream>
 #include <future>
+#include <map>
 #include <string>
 
+#include "obs/epoch_series.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "perf/perf_counters.hh"
+#include "util/json.hh"
 #include "util/logging.hh"
 
 namespace slip {
@@ -41,37 +46,152 @@ usage(const char *argv0)
         "  --timing-json F   write sweep timing record to F\n"
         "  --profile F       enable the per-phase simulator counters\n"
         "                    and write their JSON dump to F\n"
-        "  --no-progress     suppress per-run progress lines\n",
+        "  --metrics-json F  enable the metrics registry, epoch energy\n"
+        "                    ledger, and cache stats; write them to F\n"
+        "  --trace-out F     enable the decision tracer and write a\n"
+        "                    Chrome/Perfetto trace-event JSON to F\n"
+        "  --epoch-interval N  epoch length in references for the\n"
+        "                    --metrics-json energy time series "
+        "(default 50000)\n"
+        "  --no-progress     suppress per-run progress lines\n"
+        "All options also accept the --flag=value form.\n",
         argv0);
 }
 
+json::Value
+cacheStatsJson(const ResultCache &cache)
+{
+    const ResultCache::Stats cs = cache.stats();
+    json::Value v = json::Value::object();
+    v["dir"] = cache.dir();
+    v["key_version"] = kCacheKeyVersion;
+    v["hits"] = cs.hits;
+    v["misses"] = cs.misses;
+    v["stores"] = cs.stores;
+    v["corrupt"] = cs.corrupt;
+    return v;
+}
+
+json::Value
+sweepStatsJson(const SweepRunner &runner, double wall_seconds)
+{
+    const SweepRunner::Stats st = runner.stats();
+    json::Value v = json::Value::object();
+    v["jobs"] = runner.jobs();
+    v["runs_executed"] = std::uint64_t(st.executed);
+    v["cache_hits"] = std::uint64_t(st.cacheHits);
+    v["duplicate_requests"] = std::uint64_t(st.memoHits);
+    v["wall_seconds"] = wall_seconds;
+    v["run_seconds_sum"] = st.simSeconds;
+    return v;
+}
+
 void
-writeTimingJson(const std::string &path, unsigned jobs,
-                const SweepRunner::Stats &st,
-                const std::vector<SweepRunner::RunRecord> &records,
+writeTimingJson(const std::string &path, const SweepRunner &runner,
                 double wall_seconds)
 {
-    std::ofstream os(path);
-    os.precision(6);
-    os << "{\n"
-       << "  \"jobs\": " << jobs << ",\n"
-       << "  \"runs_total\": " << records.size() << ",\n"
-       << "  \"runs_executed\": " << st.executed << ",\n"
-       << "  \"cache_hits\": " << st.cacheHits << ",\n"
-       << "  \"duplicate_requests\": " << st.memoHits << ",\n"
-       << "  \"wall_seconds\": " << wall_seconds << ",\n"
-       << "  \"run_seconds_sum\": " << st.simSeconds << ",\n"
-       << "  \"runs\": [\n";
-    for (std::size_t i = 0; i < records.size(); ++i) {
-        const auto &r = records[i];
-        os << "    {\"label\": \"" << r.label << "\", \"seconds\": "
-           << r.seconds << ", \"cached\": "
-           << (r.cached ? "true" : "false") << "}"
-           << (i + 1 < records.size() ? "," : "") << "\n";
+    json::Value root = sweepStatsJson(runner, wall_seconds);
+    const auto records = runner.records();
+    root["runs_total"] = std::uint64_t(records.size());
+    root["result_cache"] = cacheStatsJson(runner.cache());
+    json::Value &runs = root["runs"];
+    runs = json::Value::array();
+    for (const auto &r : records) {
+        json::Value rec = json::Value::object();
+        rec["label"] = r.label;
+        rec["seconds"] = r.seconds;
+        rec["cached"] = r.cached;
+        runs.push(std::move(rec));
     }
-    os << "  ]\n}\n";
+    std::ofstream os(path);
+    root.write(os);
+    os << '\n';
     if (!os.good())
         warn("could not write timing record to %s", path.c_str());
+}
+
+/** Wire-segment names of the EnergyCat bookkeeping categories. */
+const char *const kEnergyCatNames[] = {
+    "access", "movement", "metadata", "other"};
+
+json::Value
+levelEnergyJson(const CacheLevelStats &s)
+{
+    json::Value v = json::Value::object();
+    json::Value &seg = v["segments"];
+    seg = json::Value::object();
+    double total = 0.0;
+    for (unsigned i = 0; i < s.energyPj.size(); ++i) {
+        seg[kEnergyCatNames[i]] = s.energyPj[i];
+        total += s.energyPj[i];
+    }
+    v["causes"] = obs::ledgerJson(s.causePj);
+    v["total_pj"] = total;
+    return v;
+}
+
+/**
+ * The --metrics-json artifact: registry snapshot, perf counters, sweep
+ * and result-cache statistics, the per-run energy-attribution ledger
+ * (per level, by wire segment and by cause), and the per-epoch series.
+ */
+void
+writeMetricsJson(
+    const std::string &path, const SweepRunner &runner,
+    const std::vector<RunSpec> &specs,
+    const std::vector<std::shared_future<RunResult>> &futures,
+    double wall_seconds)
+{
+    json::Value root = json::Value::object();
+    root["metrics"] = obs::metricsJson();
+    root["perf"] = perf::toJson(perf::snapshot());
+    root["sweep"] = sweepStatsJson(runner, wall_seconds);
+    root["result_cache"] = cacheStatsJson(runner.cache());
+
+    // One ledger entry per distinct run (futures of duplicate specs
+    // alias the same result).
+    json::Value &ledger = root["energy_ledger"];
+    ledger = json::Value::object();
+    std::map<std::string, const RunResult *> unique;
+    std::vector<RunResult> results(futures.size());
+    for (std::size_t i = 0; i < futures.size(); ++i) {
+        results[i] = futures[i].get();
+        unique.emplace(specs[i].key(), &results[i]);
+    }
+    for (const auto &kv : unique) {
+        const RunResult &r = *kv.second;
+        json::Value run = json::Value::object();
+        run["l2"] = levelEnergyJson(r.l2);
+        run["l3"] = levelEnergyJson(r.l3);
+        json::Value dram = json::Value::object();
+        dram["demand_pj"] = r.dramDemandPj;
+        dram["metadata_pj"] = r.dramMetadataPj;
+        dram["total_pj"] = r.dramEnergyPj;
+        run["dram"] = std::move(dram);
+        run["l1_pj"] = r.l1EnergyPj;
+        run["full_system_pj"] = r.fullSystemPj;
+        ledger[kv.first] = std::move(run);
+    }
+
+    json::Value &epochs = root["epochs"];
+    epochs = json::Value::array();
+    for (const auto &series : obs::takeEpochSeries())
+        epochs.push(obs::epochSeriesJson(series));
+
+    std::ofstream os(path);
+    root.write(os);
+    os << '\n';
+    if (!os.good())
+        warn("could not write metrics to %s", path.c_str());
+}
+
+void
+writeTraceJson(const std::string &path)
+{
+    std::ofstream os(path);
+    obs::writeChromeJson(os);
+    if (!os.good())
+        warn("could not write trace to %s", path.c_str());
 }
 
 } // namespace
@@ -98,10 +218,26 @@ benchOrchestratorMain(int argc, char **argv)
     std::string only;
     std::string timing_json;
     std::string profile_json;
+    std::string metrics_json;
+    std::string trace_out;
+    std::uint64_t epoch_interval = obs::RunObservation().epochIntervalRefs;
 
     for (int i = 1; i < argc; ++i) {
-        const std::string arg = argv[i];
+        std::string arg = argv[i];
+        // Accept both "--flag value" and "--flag=value".
+        std::string inline_value;
+        bool has_inline = false;
+        if (arg.size() > 2 && arg[0] == '-' && arg[1] == '-') {
+            const auto eq = arg.find('=');
+            if (eq != std::string::npos) {
+                inline_value = arg.substr(eq + 1);
+                arg.resize(eq);
+                has_inline = true;
+            }
+        }
         auto value = [&]() -> const char * {
+            if (has_inline)
+                return inline_value.c_str();
             if (i + 1 >= argc)
                 fatal("%s needs a value", arg.c_str());
             return argv[++i];
@@ -125,6 +261,14 @@ benchOrchestratorMain(int argc, char **argv)
             timing_json = value();
         } else if (arg == "--profile") {
             profile_json = value();
+        } else if (arg == "--metrics-json") {
+            metrics_json = value();
+        } else if (arg == "--trace-out") {
+            trace_out = value();
+        } else if (arg == "--epoch-interval") {
+            epoch_interval = std::strtoull(value(), nullptr, 0);
+            if (epoch_interval == 0)
+                fatal("--epoch-interval must be positive");
         } else if (arg == "--no-progress") {
             progress = false;
         } else if (arg == "--help" || arg == "-h") {
@@ -184,6 +328,18 @@ benchOrchestratorMain(int argc, char **argv)
         perf::reset();
         perf::setEnabled(true);
     }
+    if (!metrics_json.empty()) {
+        obs::resetMetrics();
+        obs::setMetricsEnabled(true);
+        obs::RunObservation watch;
+        watch.collectEpochs = true;
+        watch.epochIntervalRefs = epoch_interval;
+        obs::setRunObservation(watch);
+    }
+    if (!trace_out.empty()) {
+        obs::resetTrace();
+        obs::setTraceEnabled(true);
+    }
 
     if (progress) {
         runner.setProgress([](const SweepRunner::RunRecord &rec) {
@@ -222,10 +378,21 @@ benchOrchestratorMain(int argc, char **argv)
                      st.cacheHits, runner.jobs(),
                      runner.jobs() == 1 ? "" : "s", wall,
                      st.simSeconds);
+        const ResultCache::Stats cs = runner.cache().stats();
+        std::fprintf(stderr,
+                     "cache: %llu hits, %llu misses, %llu stored, "
+                     "%llu corrupt (key %s)\n",
+                     (unsigned long long)cs.hits,
+                     (unsigned long long)cs.misses,
+                     (unsigned long long)cs.stores,
+                     (unsigned long long)cs.corrupt, kCacheKeyVersion);
     }
     if (!timing_json.empty())
-        writeTimingJson(timing_json, runner.jobs(), st,
-                        runner.records(), wall);
+        writeTimingJson(timing_json, runner, wall);
+    if (!metrics_json.empty())
+        writeMetricsJson(metrics_json, runner, specs, futures, wall);
+    if (!trace_out.empty())
+        writeTraceJson(trace_out);
     if (!profile_json.empty()) {
         // Counters aggregate across every worker thread and run; all
         // sweep work is done at this point. Cached runs contribute no

@@ -2,10 +2,29 @@
 
 #include <algorithm>
 #include <bit>
+#include <cctype>
 
 #include "util/logging.hh"
 
 namespace slip {
+
+namespace {
+
+/** Metric prefix of a level: "L2.0" -> "l2", "L3" -> "l3". */
+std::string
+levelTag(const std::string &name)
+{
+    std::string tag;
+    for (char c : name) {
+        if (c == '.')
+            break;
+        tag += static_cast<char>(
+            std::tolower(static_cast<unsigned char>(c)));
+    }
+    return tag.empty() ? std::string("cache") : tag;
+}
+
+} // namespace
 
 CacheLevel::CacheLevel(const CacheLevelConfig &cfg)
     : _cfg(cfg),
@@ -46,6 +65,14 @@ CacheLevel::CacheLevel(const CacheLevelConfig &cfg)
         _slCumLines[sl] = cum_ways * _sets;
     }
     _slMaskCum[kNumSublevels] = cum_mask;
+
+    // All cores' levels with the same tag share one process-wide
+    // instrument, matching the perf-counter aggregation model.
+    const std::string tag = levelTag(cfg.name);
+    _ctrInsertions = &obs::counter(tag + ".insertions");
+    _ctrMovements = &obs::counter(tag + ".movements");
+    _ctrWritebacks = &obs::counter(tag + ".writebacks");
+    _ctrInvalidations = &obs::counter(tag + ".invalidations");
 }
 
 LookupResult
@@ -60,7 +87,8 @@ CacheLevel::lookup(Addr line, AccessClass cls)
 
     // Every access probes the movement queue (Section 4.3).
     if (_cfg.movementQueueEnabled)
-        chargeEnergy(EnergyCat::Other, _mq.lookup());
+        chargeEnergy(EnergyCat::Other, obs::EnergyCause::MqProbe,
+                     _mq.lookup());
 
     LookupResult res = peek(line);
     if (res.hit) {
@@ -107,9 +135,12 @@ CacheLevel::recordHit(unsigned set, unsigned way, bool is_write,
 
     // Distribution-metadata line reads are charged to the Metadata
     // category so the access/movement split of Figure 11 stays clean.
-    chargeEnergy(cls == AccessClass::Metadata ? EnergyCat::Metadata
-                                              : EnergyCat::Access,
-                 _topo.wayAccessEnergy(way));
+    if (cls == AccessClass::Metadata)
+        chargeEnergy(EnergyCat::Metadata, obs::EnergyCause::MetadataRead,
+                     _topo.wayAccessEnergy(way));
+    else
+        chargeEnergy(EnergyCat::Access, obs::EnergyCause::DemandHit,
+                     _topo.wayAccessEnergy(way));
     if (update_metadata && _cfg.slipMetadataEnabled) {
         // Read TL, write back the new timestamp (12 b metadata line).
         chargeMetadata();
@@ -183,9 +214,11 @@ CacheLevel::installLine(unsigned set, unsigned way, Addr line_addr,
     ++_stats.insertions;
     ++_stats.insertClass[static_cast<unsigned>(cls)];
     ++_stats.sublevelInsertions[_topo.sublevelOf(way)];
+    _ctrInsertions->add();
 
     // The fill write plus the 12 b metadata copy travelling with it.
-    chargeEnergy(EnergyCat::Movement, _topo.wayAccessEnergy(way));
+    chargeEnergy(EnergyCat::Movement, obs::EnergyCause::Fill,
+                 _topo.wayAccessEnergy(way));
     if (_cfg.slipMetadataEnabled)
         chargeMetadata();
 }
@@ -205,9 +238,10 @@ CacheLevel::moveLine(unsigned set, unsigned from, unsigned to)
     syncShadow(set, to);
 
     ++_stats.movements;
+    _ctrMovements->add();
     const double pj = _topo.wayAccessEnergy(from) +
                       _topo.wayAccessEnergy(to);
-    chargeEnergy(EnergyCat::Movement, pj);
+    chargeEnergy(EnergyCat::Movement, obs::EnergyCause::Move, pj);
     if (_cfg.slipMetadataEnabled)
         chargeMetadata();  // the 12 b metadata moves with the line
 
@@ -224,7 +258,8 @@ CacheLevel::recordWriteback(unsigned set, unsigned way)
     slip_assert(ln.valid, "writeback into invalid line");
     _repl->onHit(ln);
     ln.dirty = true;
-    chargeEnergy(EnergyCat::Movement, _topo.wayAccessEnergy(way));
+    chargeEnergy(EnergyCat::Movement, obs::EnergyCause::Writeback,
+                 _topo.wayAccessEnergy(way));
     return _topo.wayLatency(way);
 }
 
@@ -243,9 +278,10 @@ CacheLevel::swapLines(unsigned set, unsigned a, unsigned b)
     syncShadow(set, b);
 
     _stats.movements += 2;
+    _ctrMovements->add(2);
     const double pj = 2.0 * (_topo.wayAccessEnergy(a) +
                              _topo.wayAccessEnergy(b));
-    chargeEnergy(EnergyCat::Movement, pj);
+    chargeEnergy(EnergyCat::Movement, obs::EnergyCause::Move, pj);
     if (_cfg.slipMetadataEnabled) {
         chargeMetadata();
         chargeMetadata();
@@ -273,8 +309,10 @@ CacheLevel::evictLine(unsigned set, unsigned way)
     ++_stats.reuseHistogram[std::min<std::uint32_t>(ln.hitCount, 3)];
     if (ln.dirty) {
         ++_stats.writebacks;
+        _ctrWritebacks->add();
         // Reading the dirty line out for the writeback.
-        chargeEnergy(EnergyCat::Movement, _topo.wayAccessEnergy(way));
+        chargeEnergy(EnergyCat::Movement, obs::EnergyCause::Writeback,
+                     _topo.wayAccessEnergy(way));
     }
     ln.invalidate();
     syncShadow(set, way);
@@ -286,7 +324,8 @@ CacheLevel::invalidate(Addr line, bool *was_dirty)
 {
     // Invalidations must also probe the movement queue (Section 4.3).
     if (_cfg.movementQueueEnabled)
-        chargeEnergy(EnergyCat::Other, _mq.lookup());
+        chargeEnergy(EnergyCat::Other, obs::EnergyCause::MqProbe,
+                     _mq.lookup());
     LookupResult res = peek(line);
     if (!res.hit)
         return false;
@@ -297,6 +336,7 @@ CacheLevel::invalidate(Addr line, bool *was_dirty)
     ln.invalidate();
     syncShadow(res.setIndex, res.way);
     ++_stats.invalidations;
+    _ctrInvalidations->add();
     return true;
 }
 

@@ -28,6 +28,8 @@
 #include "cache/replacement.hh"
 #include "energy/topology.hh"
 #include "mem/types.hh"
+#include "obs/energy_ledger.hh"
+#include "obs/metrics.hh"
 #include "util/bitops.hh"
 
 namespace slip {
@@ -116,6 +118,15 @@ struct CacheLevelStats
 
     std::array<double, static_cast<unsigned>(EnergyCat::NumCats)>
         energyPj{};
+
+    /**
+     * Energy-attribution ledger: the same picojoules as energyPj,
+     * re-binned by *cause* (demand hit, fill, move, writeback, ...).
+     * Only accumulated while obs metrics are enabled, so the golden
+     * energyPj totals never change; when collected over a whole run it
+     * sums to totalEnergyPj() within FP tolerance (obs_test asserts).
+     */
+    obs::EnergyLedger causePj{};
 
     Cycles portBusyCycles = 0;
 
@@ -298,18 +309,25 @@ class CacheLevel
     // Energy / stats
     // ------------------------------------------------------------------
 
-    /** Charge @p pj to category @p cat. */
+    /**
+     * Charge @p pj to category @p cat, attributed to @p cause in the
+     * energy ledger (ledger accumulation is gated on obs metrics so
+     * the disabled hot path only pays a relaxed load + branch).
+     */
     void
-    chargeEnergy(EnergyCat cat, double pj)
+    chargeEnergy(EnergyCat cat, obs::EnergyCause cause, double pj)
     {
         _stats.energyPj[static_cast<unsigned>(cat)] += pj;
+        if (obs::metricsEnabled())
+            obs::ledgerAdd(_stats.causePj, cause, pj);
     }
 
-    /** Charge one 12 b metadata access. */
+    /** Charge one 12 b metadata access (tag/metadata array probe). */
     void
     chargeMetadata()
     {
-        chargeEnergy(EnergyCat::Metadata, _topo.metadataEnergy());
+        chargeEnergy(EnergyCat::Metadata, obs::EnergyCause::TagMeta,
+                     _topo.metadataEnergy());
     }
 
     const CacheLevelStats &stats() const { return _stats; }
@@ -370,6 +388,15 @@ class CacheLevel
     std::array<std::uint32_t, kNumSublevels + 1> _slMaskCum{};
     /** sublevelCumLines(sl) for each sublevel. */
     std::array<std::uint64_t, kNumSublevels> _slCumLines{};
+
+    // Registry instruments resolved once at construction (named by the
+    // level tag: "l2.insertions", ...). Only the fill/movement paths
+    // are instrumented — never the per-access lookup/hit path — so the
+    // disabled cost stays well under the 2% overhead budget.
+    obs::Counter *_ctrInsertions;
+    obs::Counter *_ctrMovements;
+    obs::Counter *_ctrWritebacks;
+    obs::Counter *_ctrInvalidations;
 
     CacheLevelStats _stats;
 };

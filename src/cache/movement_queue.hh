@@ -21,6 +21,7 @@
 #include <cstdint>
 
 #include "mem/types.hh"
+#include "obs/metrics.hh"
 
 namespace slip {
 
@@ -29,7 +30,9 @@ class MovementQueue
 {
   public:
     explicit MovementQueue(unsigned entries = 16, double lookup_pj = 0.3)
-        : _entries(entries), _lookupPj(lookup_pj)
+        : _entries(entries), _lookupPj(lookup_pj),
+          _histOccupancy(&obs::histogram("mq.occupancy")),
+          _ctrFullStalls(&obs::counter("mq.full_stalls"))
     {}
 
     unsigned capacity() const { return _entries; }
@@ -55,10 +58,12 @@ class MovementQueue
         if (_occupancy > _entries) {
             stall = drain_latency;
             ++_fullStalls;
+            _ctrFullStalls->add();
             _occupancy = _entries;
         }
         if (_occupancy > _peakOccupancy)
             _peakOccupancy = _occupancy;
+        _histOccupancy->record(_occupancy);
         return stall;
     }
 
@@ -95,6 +100,9 @@ class MovementQueue
     std::uint64_t _lookups = 0;
     std::uint64_t _movements = 0;
     std::uint64_t _fullStalls = 0;
+
+    obs::Histogram *_histOccupancy;
+    obs::Counter *_ctrFullStalls;
 };
 
 } // namespace slip

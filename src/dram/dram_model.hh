@@ -13,6 +13,7 @@
 
 #include "energy/energy_params.hh"
 #include "mem/types.hh"
+#include "obs/metrics.hh"
 #include "util/stats.hh"
 
 namespace slip {
@@ -22,7 +23,9 @@ class DramModel
 {
   public:
     explicit DramModel(const TechParams &tech)
-        : _pjPerBit(tech.dramPjPerBit), _latency(tech.dramLatency)
+        : _pjPerBit(tech.dramPjPerBit), _latency(tech.dramLatency),
+          _ctrDemand(&obs::counter("dram.demand_accesses")),
+          _ctrMetadata(&obs::counter("dram.metadata_accesses"))
     {}
 
     /** Account one full-line demand access (read or writeback). */
@@ -31,6 +34,7 @@ class DramModel
     {
         ++(is_write ? _writes : _reads);
         _energyPj += lineEnergy();
+        _ctrDemand->add();
         return _latency;
     }
 
@@ -45,6 +49,7 @@ class DramModel
         ++_metadataAccesses;
         _metadataBits += bits;
         _energyPj += _pjPerBit * bits;
+        _ctrMetadata->add();
         return _latency;
     }
 
@@ -75,6 +80,22 @@ class DramModel
 
     double energyPj() const { return _energyPj; }
 
+    /**
+     * Energy-attribution split of energyPj(), derived from the traffic
+     * counts (demand lines vs. per-bit metadata). The two causes sum
+     * to energyPj() within FP accumulation tolerance.
+     */
+    double
+    demandEnergyPj() const
+    {
+        return static_cast<double>(demandAccesses()) * lineEnergy();
+    }
+    double
+    metadataEnergyPj() const
+    {
+        return _pjPerBit * static_cast<double>(_metadataBits);
+    }
+
     void
     resetStats()
     {
@@ -91,6 +112,9 @@ class DramModel
     std::uint64_t _metadataAccesses = 0;
     std::uint64_t _metadataBits = 0;
     double _energyPj = 0.0;
+
+    obs::Counter *_ctrDemand;
+    obs::Counter *_ctrMetadata;
 };
 
 } // namespace slip

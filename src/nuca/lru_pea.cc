@@ -1,5 +1,6 @@
 #include "nuca/lru_pea.hh"
 
+#include "obs/trace.hh"
 #include "util/logging.hh"
 
 namespace slip {
@@ -47,6 +48,8 @@ LruPeaController::access(Addr line, bool is_write, const PageCtx &page,
         _level.moveLine(set, lr.way, dest);
         _level.lineAt(set, dest).demoted = false;
     }
+    if (obs::traceEnabled())
+        obs::emit(obs::EventKind::NucaMigration, set, lr.way, dest);
     _level.drainMovements();
     return res;
 }

@@ -1,5 +1,6 @@
 #include "nuca/nurapid.hh"
 
+#include "obs/trace.hh"
 #include "util/logging.hh"
 
 namespace slip {
@@ -31,6 +32,8 @@ NuRapidController::access(Addr line, bool is_write, const PageCtx &page,
     } else {
         _level.moveLine(set, lr.way, dest);
     }
+    if (obs::traceEnabled())
+        obs::emit(obs::EventKind::NucaMigration, set, lr.way, dest);
     _level.drainMovements();
     return res;
 }

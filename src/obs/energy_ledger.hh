@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Energy-attribution ledger: every picojoule charged anywhere in the
+ * hierarchy carries a cause tag, so figure deltas can be attributed to
+ * decision classes (a demand hit vs. a fill vs. a NUCA move) rather
+ * than only to aggregate EnergyCat totals.
+ *
+ * The ledger is a plain array of doubles accumulated *alongside* the
+ * existing EnergyCat accumulators — it never replaces them, because
+ * the golden fixtures pin those totals to the bit. The invariant
+ * (checked by obs_test) is that the ledger sums to the EnergyCat
+ * totals within floating-point tolerance.
+ */
+
+#ifndef SLIP_OBS_ENERGY_LEDGER_HH
+#define SLIP_OBS_ENERGY_LEDGER_HH
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace slip {
+namespace obs {
+
+/** Why a charge was incurred. Order is the serialization order. */
+enum class EnergyCause : std::uint8_t {
+    DemandHit,    ///< data array read/write for a demand hit
+    MetadataRead, ///< metadata (distance bits) read piggybacked on a hit
+    Fill,         ///< line installation from the level below
+    Move,         ///< intra-level sublevel movement / NUCA migration
+    Writeback,    ///< dirty line pushed to the level below
+    TagMeta,      ///< tag/metadata array probe
+    MqProbe,      ///< movement-queue occupancy lookup on the access path
+    EouOp,        ///< energy-optimizer invocation
+    DramDemand,   ///< DRAM demand access
+    DramMetadata, ///< DRAM metadata (PTE distance bits) traffic
+    NumCauses,
+};
+
+constexpr std::size_t kNumEnergyCauses =
+    static_cast<std::size_t>(EnergyCause::NumCauses);
+
+/** Per-cause accumulated picojoules. */
+using EnergyLedger = std::array<double, kNumEnergyCauses>;
+
+inline const char *
+causeName(EnergyCause c)
+{
+    switch (c) {
+      case EnergyCause::DemandHit: return "demand_hit";
+      case EnergyCause::MetadataRead: return "metadata_read";
+      case EnergyCause::Fill: return "fill";
+      case EnergyCause::Move: return "move";
+      case EnergyCause::Writeback: return "writeback";
+      case EnergyCause::TagMeta: return "tag_meta";
+      case EnergyCause::MqProbe: return "mq_probe";
+      case EnergyCause::EouOp: return "eou_op";
+      case EnergyCause::DramDemand: return "dram_demand";
+      case EnergyCause::DramMetadata: return "dram_metadata";
+      case EnergyCause::NumCauses: break;
+    }
+    return "?";
+}
+
+inline void
+ledgerAdd(EnergyLedger &ledger, EnergyCause cause, double pj)
+{
+    ledger[static_cast<std::size_t>(cause)] += pj;
+}
+
+inline void
+ledgerMerge(EnergyLedger &into, const EnergyLedger &from)
+{
+    for (std::size_t i = 0; i < kNumEnergyCauses; ++i)
+        into[i] += from[i];
+}
+
+inline double
+ledgerTotal(const EnergyLedger &ledger)
+{
+    double sum = 0.0;
+    for (double v : ledger)
+        sum += v;
+    return sum;
+}
+
+} // namespace obs
+} // namespace slip
+
+#endif // SLIP_OBS_ENERGY_LEDGER_HH

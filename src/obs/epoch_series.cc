@@ -1,0 +1,105 @@
+#include "obs/epoch_series.hh"
+
+#include <algorithm>
+#include <mutex>
+#include <utility>
+
+namespace slip {
+namespace obs {
+
+namespace {
+
+struct EpochCollection
+{
+    std::mutex mtx;
+    RunObservation config;
+    std::vector<EpochSeries> series;
+};
+
+EpochCollection &
+collection()
+{
+    static EpochCollection c;
+    return c;
+}
+
+} // namespace
+
+RunObservation
+runObservation()
+{
+    EpochCollection &c = collection();
+    std::lock_guard<std::mutex> lock(c.mtx);
+    return c.config;
+}
+
+void
+setRunObservation(const RunObservation &obs)
+{
+    EpochCollection &c = collection();
+    std::lock_guard<std::mutex> lock(c.mtx);
+    c.config = obs;
+}
+
+void
+submitEpochSeries(EpochSeries series)
+{
+    EpochCollection &c = collection();
+    std::lock_guard<std::mutex> lock(c.mtx);
+    c.series.push_back(std::move(series));
+}
+
+std::vector<EpochSeries>
+takeEpochSeries()
+{
+    std::vector<EpochSeries> out;
+    {
+        EpochCollection &c = collection();
+        std::lock_guard<std::mutex> lock(c.mtx);
+        out.swap(c.series);
+    }
+    std::sort(out.begin(), out.end(),
+              [](const EpochSeries &a, const EpochSeries &b) {
+                  return a.label < b.label;
+              });
+    return out;
+}
+
+json::Value
+ledgerJson(const EnergyLedger &ledger)
+{
+    json::Value out = json::Value::object();
+    for (std::size_t i = 0; i < kNumEnergyCauses; ++i) {
+        if (ledger[i] != 0.0)
+            out[causeName(static_cast<EnergyCause>(i))] = ledger[i];
+    }
+    return out;
+}
+
+json::Value
+epochSeriesJson(const EpochSeries &series)
+{
+    json::Value out = json::Value::object();
+    out["label"] = series.label;
+    out["interval_refs"] = series.intervalRefs;
+    json::Value epochs = json::Value::array();
+    for (const EpochRecord &r : series.records) {
+        json::Value e = json::Value::object();
+        e["index"] = r.index;
+        e["end_tick"] = r.endTick;
+        e["accesses"] = r.accesses;
+        e["l2_demand_hits"] = r.l2DemandHits;
+        e["l3_demand_hits"] = r.l3DemandHits;
+        e["eou_ops"] = r.eouOps;
+        e["l1_pj"] = r.l1Pj;
+        e["dram_pj"] = r.dramPj;
+        e["l2_pj"] = ledgerJson(r.l2Pj);
+        e["l3_pj"] = ledgerJson(r.l3Pj);
+        epochs.push(std::move(e));
+    }
+    out["epochs"] = std::move(epochs);
+    return out;
+}
+
+} // namespace obs
+} // namespace slip

@@ -1,0 +1,119 @@
+#include "obs/metrics.hh"
+
+#include <cstdio>
+#include <map>
+#include <mutex>
+
+namespace slip {
+namespace obs {
+
+namespace {
+
+// Node-based maps keep instrument addresses stable across insertions,
+// so references handed out by counter()/gauge()/histogram() stay valid
+// for the life of the process.
+struct Registry
+{
+    std::mutex mtx;
+    std::map<std::string, Counter> counters;
+    std::map<std::string, Gauge> gauges;
+    std::map<std::string, Histogram> histograms;
+};
+
+Registry &
+registry()
+{
+    static Registry r;
+    return r;
+}
+
+} // namespace
+
+void
+setMetricsEnabled(bool on)
+{
+    metricsEnabledFlag().store(on, std::memory_order_relaxed);
+}
+
+Counter &
+counter(const std::string &name)
+{
+    Registry &r = registry();
+    std::lock_guard<std::mutex> lock(r.mtx);
+    return r.counters[name];
+}
+
+Gauge &
+gauge(const std::string &name)
+{
+    Registry &r = registry();
+    std::lock_guard<std::mutex> lock(r.mtx);
+    return r.gauges[name];
+}
+
+Histogram &
+histogram(const std::string &name)
+{
+    Registry &r = registry();
+    std::lock_guard<std::mutex> lock(r.mtx);
+    return r.histograms[name];
+}
+
+void
+resetMetrics()
+{
+    Registry &r = registry();
+    std::lock_guard<std::mutex> lock(r.mtx);
+    for (auto &kv : r.counters)
+        kv.second.reset();
+    for (auto &kv : r.gauges)
+        kv.second.reset();
+    for (auto &kv : r.histograms)
+        kv.second.reset();
+}
+
+json::Value
+metricsJson()
+{
+    Registry &r = registry();
+    std::lock_guard<std::mutex> lock(r.mtx);
+
+    json::Value out = json::Value::object();
+    json::Value &counters = out["counters"];
+    counters = json::Value::object();
+    for (const auto &kv : r.counters)
+        counters[kv.first] = kv.second.value();
+
+    json::Value &gauges = out["gauges"];
+    gauges = json::Value::object();
+    for (const auto &kv : r.gauges)
+        gauges[kv.first] = kv.second.value();
+
+    json::Value &histograms = out["histograms"];
+    histograms = json::Value::object();
+    for (const auto &kv : r.histograms) {
+        const Histogram &h = kv.second;
+        json::Value entry = json::Value::object();
+        entry["count"] = h.count();
+        entry["sum"] = h.sum();
+        json::Value buckets = json::Value::object();
+        for (unsigned b = 0; b < Histogram::kNumBuckets; ++b) {
+            const std::uint64_t n = h.bucket(b);
+            if (!n)
+                continue;
+            // Zero-padded upper bound so lexicographic (sorted-key)
+            // order matches numeric order.
+            char key[32];
+            std::snprintf(key, sizeof(key), "%020llu",
+                          static_cast<unsigned long long>(
+                              Histogram::bucketHi(b)));
+            buckets[key] = n;
+        }
+        entry["buckets"] = std::move(buckets);
+        histograms[kv.first] = std::move(entry);
+    }
+    return out;
+}
+
+} // namespace obs
+} // namespace slip

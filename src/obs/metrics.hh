@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Process-wide metrics registry: named counters, gauges, and
+ * log₂-bucketed histograms with a near-zero disabled path.
+ *
+ * This mirrors the relaxed-atomic discipline of
+ * `src/perf/perf_counters.hh`: instruments are global, shared across
+ * sweep worker threads, and every mutating call is gated on a single
+ * relaxed atomic load of the process-wide enable flag. When metrics
+ * are off (the default) an instrumented site costs that one load and a
+ * predicted-not-taken branch — cheap enough to leave compiled into the
+ * per-access hot path's miss branches.
+ *
+ * Instruments are registered by name ("tlb.misses",
+ * "l2.insertions", ...) and live for the life of the process, so call
+ * sites resolve the name once (constructor or function-local static)
+ * and keep the pointer. The full metric-name table is documented in
+ * EXPERIMENTS.md §Observability; snapshots serialize through
+ * `metricsJson()` with sorted keys.
+ */
+
+#ifndef SLIP_OBS_METRICS_HH
+#define SLIP_OBS_METRICS_HH
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "util/json.hh"
+
+namespace slip {
+namespace obs {
+
+/** Globally enable/disable metric collection. */
+void setMetricsEnabled(bool on);
+
+inline std::atomic<bool> &
+metricsEnabledFlag()
+{
+    static std::atomic<bool> flag{false};
+    return flag;
+}
+
+inline bool
+metricsEnabled()
+{
+    return metricsEnabledFlag().load(std::memory_order_relaxed);
+}
+
+/** Monotonic event count. */
+class Counter
+{
+  public:
+    void add(std::uint64_t n = 1)
+    {
+        if (metricsEnabled())
+            _v.fetch_add(n, std::memory_order_relaxed);
+    }
+
+    std::uint64_t value() const
+    {
+        return _v.load(std::memory_order_relaxed);
+    }
+
+    void reset() { _v.store(0, std::memory_order_relaxed); }
+
+  private:
+    std::atomic<std::uint64_t> _v{0};
+};
+
+/** Last-write-wins instantaneous value. */
+class Gauge
+{
+  public:
+    void set(std::int64_t v)
+    {
+        if (metricsEnabled())
+            _v.store(v, std::memory_order_relaxed);
+    }
+
+    void add(std::int64_t delta)
+    {
+        if (metricsEnabled())
+            _v.fetch_add(delta, std::memory_order_relaxed);
+    }
+
+    std::int64_t value() const
+    {
+        return _v.load(std::memory_order_relaxed);
+    }
+
+    void reset() { _v.store(0, std::memory_order_relaxed); }
+
+  private:
+    std::atomic<std::int64_t> _v{0};
+};
+
+/**
+ * log₂-bucketed histogram. Bucket 0 holds value 0, bucket i (i ≥ 1)
+ * holds values in [2^(i-1), 2^i). 33 buckets cover the full 32-bit
+ * range; larger samples clamp into the last bucket.
+ */
+class Histogram
+{
+  public:
+    static constexpr unsigned kNumBuckets = 33;
+
+    static unsigned bucketOf(std::uint64_t v)
+    {
+        if (v == 0)
+            return 0;
+        unsigned b = 64 - static_cast<unsigned>(__builtin_clzll(v));
+        return b < kNumBuckets ? b : kNumBuckets - 1;
+    }
+
+    /** Inclusive upper bound of bucket @p b (for serialization). */
+    static std::uint64_t bucketHi(unsigned b)
+    {
+        return b == 0 ? 0 : (std::uint64_t{1} << b) - 1;
+    }
+
+    void record(std::uint64_t v)
+    {
+        if (!metricsEnabled())
+            return;
+        _buckets[bucketOf(v)].fetch_add(1, std::memory_order_relaxed);
+        _count.fetch_add(1, std::memory_order_relaxed);
+        _sum.fetch_add(v, std::memory_order_relaxed);
+    }
+
+    std::uint64_t count() const
+    {
+        return _count.load(std::memory_order_relaxed);
+    }
+
+    std::uint64_t sum() const
+    {
+        return _sum.load(std::memory_order_relaxed);
+    }
+
+    std::uint64_t bucket(unsigned b) const
+    {
+        return _buckets[b].load(std::memory_order_relaxed);
+    }
+
+    void reset()
+    {
+        for (auto &b : _buckets)
+            b.store(0, std::memory_order_relaxed);
+        _count.store(0, std::memory_order_relaxed);
+        _sum.store(0, std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<std::uint64_t> _buckets[kNumBuckets]{};
+    std::atomic<std::uint64_t> _count{0};
+    std::atomic<std::uint64_t> _sum{0};
+};
+
+/**
+ * Resolve an instrument by name, creating it on first use. Returned
+ * references are stable for the life of the process; resolve once and
+ * keep the pointer rather than looking up on the hot path.
+ */
+Counter &counter(const std::string &name);
+Gauge &gauge(const std::string &name);
+Histogram &histogram(const std::string &name);
+
+/** Zero every registered instrument (tests and per-sweep isolation). */
+void resetMetrics();
+
+/**
+ * Snapshot the registry as a JSON object:
+ *
+ *   {"counters": {"<name>": N, ...},
+ *    "gauges": {"<name>": N, ...},
+ *    "histograms": {"<name>": {"count": N, "sum": N,
+ *                              "buckets": {"<hi>": N, ...}}, ...}}
+ *
+ * Histogram buckets with zero samples are omitted; bucket keys are the
+ * inclusive upper bound of the log₂ bucket, zero-padded so the sorted
+ * key order is also numeric order.
+ */
+json::Value metricsJson();
+
+} // namespace obs
+} // namespace slip
+
+#endif // SLIP_OBS_METRICS_HH

@@ -1,0 +1,300 @@
+#include "obs/trace.hh"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <vector>
+
+namespace slip {
+namespace obs {
+
+namespace {
+
+// Retention is bounded per run, not per thread: each run keeps its
+// first kMaxEventsPerRunKind events of every kind (budgets live in the
+// thread's RunTraceScope). Which events survive is therefore a
+// property of the run alone — never of which worker thread executed
+// it — so flushed traces are byte-identical for any --jobs value, and
+// a flood of one kind (NUCA migrations) cannot evict rarer kinds
+// (epoch rollovers) from the same run.
+constexpr std::uint64_t kMaxEventsPerRunKind = 1u << 12;
+
+// One append-only buffer per tracing thread, written without locks.
+// It is owned jointly by the thread (via its thread_local handle) and
+// the global flush registry, so worker threads may exit before the
+// trace is written.
+struct ThreadRing
+{
+    std::vector<TraceEvent> buf;
+    std::uint64_t droppedCount = 0; // emits past a run-kind budget
+
+    ThreadRing() { buf.reserve(1024); }
+
+    void push(const TraceEvent &ev) { buf.push_back(ev); }
+};
+
+struct TraceRegistry
+{
+    std::mutex mtx;
+    std::vector<std::shared_ptr<ThreadRing>> rings;
+    std::map<std::uint64_t, std::string> processLabels;
+};
+
+TraceRegistry &
+traceRegistry()
+{
+    static TraceRegistry r;
+    return r;
+}
+
+struct ThreadState
+{
+    std::shared_ptr<ThreadRing> ring;
+    std::uint64_t pid = 0;
+    const std::uint64_t *tick = nullptr;
+    std::uint64_t kindCount[kNumEventKinds] = {};
+};
+
+ThreadState &
+threadState()
+{
+    thread_local ThreadState state;
+    return state;
+}
+
+ThreadRing &
+thisThreadRing()
+{
+    ThreadState &st = threadState();
+    if (!st.ring) {
+        st.ring = std::make_shared<ThreadRing>();
+        TraceRegistry &r = traceRegistry();
+        std::lock_guard<std::mutex> lock(r.mtx);
+        r.rings.push_back(st.ring);
+    }
+    return *st.ring;
+}
+
+const char *kEventKindNames[kNumEventKinds] = {
+    "eou_decision", "epoch_rollover", "tlb_update", "nuca_migration",
+};
+
+// Per-kind argument names for a0..a2 in the flushed JSON.
+const char *kEventArgNames[kNumEventKinds][3] = {
+    {"page", "l2_code", "l3_code"},   // EouDecision
+    {"epoch", "accesses", "hits"},    // EpochRollover
+    {"page", "sampling", "updates"},  // TlbUpdate
+    {"set", "from_way", "to_way"},    // NucaMigration
+};
+
+} // namespace
+
+const char *
+eventKindName(EventKind k)
+{
+    return kEventKindNames[static_cast<std::size_t>(k)];
+}
+
+void
+setTraceEnabled(bool on)
+{
+    traceEnabledFlag().store(on, std::memory_order_relaxed);
+}
+
+RunTraceScope::RunTraceScope(std::uint64_t pid, const std::uint64_t *tick)
+{
+    ThreadState &st = threadState();
+    _prevPid = st.pid;
+    _prevTick = st.tick;
+    st.pid = pid;
+    st.tick = tick;
+    for (std::size_t k = 0; k < kNumEventKinds; ++k) {
+        _prevCount[k] = st.kindCount[k];
+        st.kindCount[k] = 0;
+    }
+}
+
+RunTraceScope::~RunTraceScope()
+{
+    ThreadState &st = threadState();
+    st.pid = _prevPid;
+    st.tick = _prevTick;
+    for (std::size_t k = 0; k < kNumEventKinds; ++k)
+        st.kindCount[k] = _prevCount[k];
+}
+
+void
+emit(EventKind kind, std::uint64_t a0, std::uint64_t a1, std::uint64_t a2)
+{
+    if (!traceEnabled())
+        return;
+    ThreadState &st = threadState();
+    if (!st.tick)
+        return;
+    std::uint64_t &n = st.kindCount[static_cast<std::size_t>(kind)];
+    if (n >= kMaxEventsPerRunKind) {
+        ++thisThreadRing().droppedCount;
+        return;
+    }
+    ++n;
+    TraceEvent ev;
+    ev.ts = *st.tick;
+    ev.pid = st.pid;
+    ev.a0 = a0;
+    ev.a1 = a1;
+    ev.a2 = a2;
+    ev.kind = kind;
+    thisThreadRing().push(ev);
+}
+
+std::uint64_t
+tracePidFor(const std::string &label)
+{
+    // FNV-1a, truncated to 31 bits and kept nonzero so it renders as a
+    // plain positive pid in trace viewers.
+    std::uint64_t h = 1469598103934665603ull;
+    for (unsigned char c : label) {
+        h ^= c;
+        h *= 1099511628211ull;
+    }
+    h &= 0x7fffffffull;
+    return h ? h : 1;
+}
+
+void
+registerTraceProcess(std::uint64_t pid, const std::string &label)
+{
+    TraceRegistry &r = traceRegistry();
+    std::lock_guard<std::mutex> lock(r.mtx);
+    r.processLabels[pid] = label;
+}
+
+void
+resetTrace()
+{
+    TraceRegistry &r = traceRegistry();
+    std::lock_guard<std::mutex> lock(r.mtx);
+    for (auto &ring : r.rings) {
+        ring->buf.clear();
+        ring->droppedCount = 0;
+    }
+    r.processLabels.clear();
+}
+
+std::uint64_t
+traceDroppedEvents()
+{
+    TraceRegistry &r = traceRegistry();
+    std::lock_guard<std::mutex> lock(r.mtx);
+    std::uint64_t total = 0;
+    for (const auto &ring : r.rings)
+        total += ring->droppedCount;
+    return total;
+}
+
+std::uint64_t
+traceBufferedEvents()
+{
+    TraceRegistry &r = traceRegistry();
+    std::lock_guard<std::mutex> lock(r.mtx);
+    std::uint64_t total = 0;
+    for (const auto &ring : r.rings)
+        total += ring->buf.size();
+    return total;
+}
+
+namespace {
+
+bool
+flatEventLess(const TraceEvent &a, const TraceEvent &b)
+{
+    // Deterministic order independent of worker-thread scheduling:
+    // events are keyed on run-local content, never on anything tied
+    // to which worker picked up which run.
+    if (a.pid != b.pid)
+        return a.pid < b.pid;
+    if (a.ts != b.ts)
+        return a.ts < b.ts;
+    if (a.kind != b.kind)
+        return a.kind < b.kind;
+    if (a.a0 != b.a0)
+        return a.a0 < b.a0;
+    if (a.a1 != b.a1)
+        return a.a1 < b.a1;
+    return a.a2 < b.a2;
+}
+
+} // namespace
+
+json::Value
+traceJson()
+{
+    std::vector<TraceEvent> flat;
+    std::map<std::uint64_t, std::string> labels;
+    std::uint64_t dropped = 0;
+    {
+        TraceRegistry &r = traceRegistry();
+        std::lock_guard<std::mutex> lock(r.mtx);
+        labels = r.processLabels;
+        for (const auto &ring : r.rings) {
+            dropped += ring->droppedCount;
+            flat.insert(flat.end(), ring->buf.begin(), ring->buf.end());
+        }
+    }
+    std::stable_sort(flat.begin(), flat.end(), flatEventLess);
+
+    json::Value root = json::Value::object();
+    root["displayTimeUnit"] = "ms";
+    json::Value &meta = root["otherData"];
+    meta = json::Value::object();
+    meta["dropped_events"] = dropped;
+    meta["ts_unit"] = "logical access tick";
+
+    json::Value events = json::Value::array();
+    for (const auto &kv : labels) {
+        json::Value m = json::Value::object();
+        m["ph"] = "M";
+        m["ts"] = std::uint64_t{0};
+        m["pid"] = kv.first;
+        m["tid"] = std::uint64_t{0};
+        m["name"] = "process_name";
+        json::Value args = json::Value::object();
+        args["name"] = kv.second;
+        m["args"] = std::move(args);
+        events.push(std::move(m));
+    }
+    for (const auto &fe : flat) {
+        const auto kindIdx = static_cast<std::size_t>(fe.kind);
+        json::Value e = json::Value::object();
+        e["ph"] = "i";
+        e["s"] = "t";
+        e["ts"] = fe.ts;
+        e["pid"] = fe.pid;
+        // tid is constant: a run executes on one thread, and writing
+        // the worker's ring id would make the artifact depend on
+        // --jobs scheduling (traces must diff clean across jobs).
+        e["tid"] = std::uint64_t{0};
+        e["name"] = kEventKindNames[kindIdx];
+        e["cat"] = "slip";
+        json::Value args = json::Value::object();
+        args[kEventArgNames[kindIdx][0]] = fe.a0;
+        args[kEventArgNames[kindIdx][1]] = fe.a1;
+        args[kEventArgNames[kindIdx][2]] = fe.a2;
+        e["args"] = std::move(args);
+        events.push(std::move(e));
+    }
+    root["traceEvents"] = std::move(events);
+    return root;
+}
+
+void
+writeChromeJson(std::ostream &os)
+{
+    traceJson().write(os);
+    os << '\n';
+}
+
+} // namespace obs
+} // namespace slip

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Lock-free per-thread event tracer for SLIP's decision points.
+ *
+ * Each sweep worker thread owns a buffer of POD events; emitting costs
+ * one relaxed load (the global enable gate), a few stores into
+ * thread-local memory, and no locks. Retention is bounded per RUN, not
+ * per thread: each run keeps its first N events of every kind (dropped
+ * counts are kept for the rest), so memory stays bounded, a flood of
+ * one kind cannot evict rarer kinds, and — because which events
+ * survive depends only on the run itself, never on worker scheduling —
+ * flushed traces are byte-identical for any --jobs value.
+ *
+ * Traced events are the paper's decision points: EOU placement
+ * decisions, epoch rollovers, TLB metadata updates, and NUCA
+ * migrations. Timestamps are the run's logical access tick, not wall
+ * time, so traces are deterministic and diffable across machines.
+ *
+ * `writeChromeJson` flushes every ring as Chrome trace-event JSON
+ * (`{"traceEvents": [...]}` with instant events carrying
+ * ph/ts/pid/tid/name/args) loadable in Perfetto (ui.perfetto.dev);
+ * each RunSpec becomes a Perfetto "process" named after its spec key.
+ * `tools/trace_report.cpp` summarizes the same file offline.
+ */
+
+#ifndef SLIP_OBS_TRACE_HH
+#define SLIP_OBS_TRACE_HH
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "util/json.hh"
+
+namespace slip {
+namespace obs {
+
+enum class EventKind : std::uint8_t {
+    EouDecision,   ///< EOU chose L2/L3 placement codes for a page
+    EpochRollover, ///< a profiling epoch completed
+    TlbUpdate,     ///< PTE policy/sampling metadata updated on TLB miss
+    NucaMigration, ///< NUCA promotion moved/swapped a line
+    NumKinds,
+};
+
+constexpr std::size_t kNumEventKinds =
+    static_cast<std::size_t>(EventKind::NumKinds);
+
+/** Stable event name (the Chrome trace "name" field). */
+const char *eventKindName(EventKind k);
+
+/** POD ring entry; semantic meaning of a0..a2 depends on kind. */
+struct TraceEvent
+{
+    std::uint64_t ts;  ///< logical access tick within the run
+    std::uint64_t pid; ///< run id (hashed spec key)
+    std::uint64_t a0;
+    std::uint64_t a1;
+    std::uint64_t a2;
+    EventKind kind;
+};
+
+/** Globally enable/disable tracing. */
+void setTraceEnabled(bool on);
+
+inline std::atomic<bool> &
+traceEnabledFlag()
+{
+    static std::atomic<bool> flag{false};
+    return flag;
+}
+
+inline bool
+traceEnabled()
+{
+    return traceEnabledFlag().load(std::memory_order_relaxed);
+}
+
+/**
+ * Bind this thread's subsequent emit() calls to run @p pid, with
+ * timestamps read from @p tick (the run's logical access counter), and
+ * reset the run's per-kind retention budgets. Cleared by destruction
+ * of the returned guard, so nested System::run invocations on one
+ * thread restore the outer binding and budgets.
+ */
+class RunTraceScope
+{
+  public:
+    RunTraceScope(std::uint64_t pid, const std::uint64_t *tick);
+    ~RunTraceScope();
+
+    RunTraceScope(const RunTraceScope &) = delete;
+    RunTraceScope &operator=(const RunTraceScope &) = delete;
+
+  private:
+    std::uint64_t _prevPid;
+    const std::uint64_t *_prevTick;
+    std::uint64_t _prevCount[kNumEventKinds];
+};
+
+/**
+ * Record one event into this thread's ring. Callers should pre-check
+ * `traceEnabled()`; emit() re-checks and is a no-op when tracing is
+ * off or no RunTraceScope is active on this thread.
+ */
+void emit(EventKind kind, std::uint64_t a0, std::uint64_t a1 = 0,
+          std::uint64_t a2 = 0);
+
+/** Derive the trace pid for a run label (hash, truncated positive). */
+std::uint64_t tracePidFor(const std::string &label);
+
+/** Name @p pid in the flushed trace (Perfetto process_name). */
+void registerTraceProcess(std::uint64_t pid, const std::string &label);
+
+/** Drop all buffered events, labels, and dropped counts. */
+void resetTrace();
+
+/** Events dropped past a run's per-kind budget, across all rings. */
+std::uint64_t traceDroppedEvents();
+
+/** Events currently buffered across all rings. */
+std::uint64_t traceBufferedEvents();
+
+/**
+ * The buffered trace as a Chrome trace-event JSON value:
+ * process_name metadata ("M") events for every registered pid, then
+ * all instant ("i") events sorted by (ts, pid, kind, args) so output
+ * is deterministic regardless of worker-thread interleaving.
+ */
+json::Value traceJson();
+
+/** Serialize traceJson() to @p os (with trailing newline). */
+void writeChromeJson(std::ostream &os);
+
+} // namespace obs
+} // namespace slip
+
+#endif // SLIP_OBS_TRACE_HH

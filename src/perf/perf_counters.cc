@@ -63,27 +63,56 @@ record(Phase p, std::uint64_t ns)
     g_calls[i].fetch_add(1, std::memory_order_relaxed);
 }
 
+namespace {
+
+// Per-thread nesting depth of each phase. Only the outermost scope of
+// a phase on a thread measures time, so recursion cannot double-count.
+thread_local unsigned t_depth[kNumPhases];
+
+} // namespace
+
+bool
+enterPhase(Phase p)
+{
+    return ++t_depth[static_cast<unsigned>(p)] == 1;
+}
+
 void
-writeJson(std::ostream &os, const PhaseTotals &t)
+exitPhase(Phase p)
+{
+    --t_depth[static_cast<unsigned>(p)];
+}
+
+json::Value
+toJson(const PhaseTotals &t)
 {
     const std::uint64_t run_ns =
         t.ns[static_cast<unsigned>(Phase::Run)];
-    os << "{\n  \"enabled\": " << (enabled() ? "true" : "false")
-       << ",\n  \"phases\": {\n";
+    json::Value out = json::Value::object();
+    out["enabled"] = enabled();
+    json::Value &phases = out["phases"];
+    phases = json::Value::object();
     for (unsigned i = 0; i < kNumPhases; ++i) {
-        const double share =
+        json::Value ph = json::Value::object();
+        ph["ns"] = t.ns[i];
+        ph["calls"] = t.calls[i];
+        ph["share_of_run"] =
             run_ns ? double(t.ns[i]) / double(run_ns) : 0.0;
-        os << "    \"" << kPhaseNames[i] << "\": {\"ns\": " << t.ns[i]
-           << ", \"calls\": " << t.calls[i]
-           << ", \"share_of_run\": " << share << "}"
-           << (i + 1 < kNumPhases ? "," : "") << "\n";
+        phases[kPhaseNames[i]] = std::move(ph);
     }
-    const std::uint64_t accounted =
+    out["accounted_ns"] =
         t.ns[static_cast<unsigned>(Phase::WorkloadGen)] +
         t.ns[static_cast<unsigned>(Phase::Tlb)] +
         t.ns[static_cast<unsigned>(Phase::CacheWalk)];
-    os << "  },\n  \"accounted_ns\": " << accounted
-       << ",\n  \"run_ns\": " << run_ns << "\n}\n";
+    out["run_ns"] = run_ns;
+    return out;
+}
+
+void
+writeJson(std::ostream &os, const PhaseTotals &t)
+{
+    toJson(t).write(os);
+    os << '\n';
 }
 
 } // namespace perf

@@ -31,6 +31,8 @@
 #include <cstdint>
 #include <iosfwd>
 
+#include "util/json.hh"
+
 namespace slip {
 namespace perf {
 
@@ -72,6 +74,17 @@ PhaseTotals snapshot();
 void record(Phase p, std::uint64_t ns);
 
 /**
+ * Enter/leave @p p on this thread (ScopedPhase plumbing). enterPhase
+ * returns true only for the outermost scope of a phase, so recursive
+ * or nested same-phase scopes never double-count.
+ */
+bool enterPhase(Phase p);
+void exitPhase(Phase p);
+
+/** The counters as a JSON value (schema documented at writeJson). */
+json::Value toJson(const PhaseTotals &t);
+
+/**
  * Write the counters as a JSON object:
  *
  *   {"enabled": true,
@@ -88,25 +101,36 @@ void writeJson(std::ostream &os, const PhaseTotals &t);
 /**
  * RAII phase scope. Construction/destruction cost one relaxed load
  * when profiling is off.
+ *
+ * Exception-safe (time is recorded on unwind like any destructor) and
+ * re-entrancy-safe: a per-thread depth counter means nested scopes of
+ * the SAME phase record only at the outermost level, so recursive
+ * instrumented code does not double-count its own time.
  */
 class ScopedPhase
 {
   public:
-    explicit ScopedPhase(Phase p) : _phase(p), _active(enabled())
+    explicit ScopedPhase(Phase p) : _phase(p), _entered(enabled())
     {
-        if (_active)
-            _t0 = std::chrono::steady_clock::now();
+        if (_entered) {
+            _outermost = enterPhase(p);
+            if (_outermost)
+                _t0 = std::chrono::steady_clock::now();
+        }
     }
 
     ~ScopedPhase()
     {
-        if (_active)
-            record(_phase,
-                   static_cast<std::uint64_t>(
-                       std::chrono::duration_cast<
-                           std::chrono::nanoseconds>(
-                           std::chrono::steady_clock::now() - _t0)
-                           .count()));
+        if (_entered) {
+            if (_outermost)
+                record(_phase,
+                       static_cast<std::uint64_t>(
+                           std::chrono::duration_cast<
+                               std::chrono::nanoseconds>(
+                               std::chrono::steady_clock::now() - _t0)
+                               .count()));
+            exitPhase(_phase);
+        }
     }
 
     ScopedPhase(const ScopedPhase &) = delete;
@@ -114,9 +138,13 @@ class ScopedPhase
 
   private:
     Phase _phase;
-    bool _active;
+    bool _entered;
+    bool _outermost = false;
     std::chrono::steady_clock::time_point _t0;
 };
+
+/** The observability-facing name of the RAII scope. */
+using Scope = ScopedPhase;
 
 } // namespace perf
 } // namespace slip

@@ -18,6 +18,7 @@
 #include <string>
 
 #include "mem/trace_io.hh"
+#include "obs/metrics.hh"
 #include "sim/stats_dump.hh"
 #include "sim/system.hh"
 #include "workloads/spec_suite.hh"
@@ -52,6 +53,9 @@ usage()
         "  --no-insertion-term strict Equations 1-4 EOU coefficients\n"
         "  --seed N            simulation seed\n"
         "  --stats FILE        write the stats dump to FILE\n"
+        "  --stats-json FILE   write the stats as JSON to FILE\n"
+        "                      (enables the metrics registry, so the\n"
+        "                      per-cause energy ledger is populated)\n"
         "  --dump-trace FILE   also record the reference stream to a\n"
         "                      binary trace (replayable via --trace)\n"
         "  --list              list available benchmarks\n");
@@ -80,7 +84,8 @@ parsePolicy(const std::string &v, PolicyKind &out)
 int
 main(int argc, char **argv)
 {
-    std::string benchn, trace_path, stats_path, dump_path;
+    std::string benchn, trace_path, stats_path, stats_json_path,
+        dump_path;
     bool loop_trace = false;
     std::uint64_t refs = 2'000'000;
     std::uint64_t warmup = ~0ull;
@@ -161,6 +166,8 @@ main(int argc, char **argv)
             cfg.seed = std::strtoull(value().c_str(), nullptr, 0);
         } else if (arg == "--stats") {
             stats_path = value();
+        } else if (arg == "--stats-json") {
+            stats_json_path = value();
         } else if (arg == "--dump-trace") {
             dump_path = value();
         } else {
@@ -174,6 +181,11 @@ main(int argc, char **argv)
         fatal("need --bench or --trace (see --help)");
     if (warmup == ~0ull)
         warmup = refs;
+
+    // The JSON dump carries the per-cause energy ledger, which is only
+    // accumulated while the metrics registry is live.
+    if (!stats_json_path.empty())
+        obs::setMetricsEnabled(true);
 
     System sys(cfg);
 
@@ -232,8 +244,17 @@ main(int argc, char **argv)
             fatal("cannot write stats to '%s'", stats_path.c_str());
         dumpStats(sys, os);
         inform("stats written to %s", stats_path.c_str());
-    } else {
+    } else if (stats_json_path.empty()) {
         dumpStats(sys, std::cout);
+    }
+    if (!stats_json_path.empty()) {
+        std::ofstream os(stats_json_path);
+        if (!os)
+            fatal("cannot write stats to '%s'",
+                  stats_json_path.c_str());
+        statsToJson(sys).write(os);
+        os << '\n';
+        inform("JSON stats written to %s", stats_json_path.c_str());
     }
     return 0;
 }

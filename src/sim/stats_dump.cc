@@ -2,6 +2,8 @@
 
 #include <iomanip>
 
+#include "obs/epoch_series.hh"
+
 namespace slip {
 
 namespace {
@@ -103,6 +105,113 @@ dumpStats(System &sys, std::ostream &os)
     os << "pagetable.pages " << sys.pageTable().pagesTouched() << "\n";
     os << "metadata.pages " << sys.metadataStore().pagesTracked()
        << "\n";
+}
+
+json::Value
+levelStatsJson(const CacheLevelStats &s)
+{
+    json::Value v = json::Value::object();
+    v["demand_accesses"] = s.demandAccesses;
+    v["demand_hits"] = s.demandHits;
+    v["demand_misses"] = s.demandMisses();
+    if (s.demandAccesses)
+        v["hit_rate"] = double(s.demandHits) / double(s.demandAccesses);
+    v["metadata_accesses"] = s.metadataAccesses;
+    v["metadata_hits"] = s.metadataHits;
+    v["insertions"] = s.insertions;
+    v["bypasses"] = s.bypasses;
+    json::Value &subs = v["sublevels"];
+    subs = json::Value::array();
+    for (unsigned i = 0; i < kNumSublevels; ++i) {
+        json::Value sl = json::Value::object();
+        sl["hits"] = s.sublevelHits[i];
+        sl["insertions"] = s.sublevelInsertions[i];
+        subs.push(std::move(sl));
+    }
+    json::Value &ic = v["insert_class"];
+    ic = json::Value::object();
+    for (unsigned i = 0; i < s.insertClass.size(); ++i)
+        ic[kInsertClassNames[i]] = s.insertClass[i];
+    v["movements"] = s.movements;
+    v["writebacks"] = s.writebacks;
+    v["invalidations"] = s.invalidations;
+    json::Value &rh = v["reuse_histogram"];
+    rh = json::Value::array();
+    for (unsigned i = 0; i < 4; ++i)
+        rh.push(s.reuseHistogram[i]);
+    json::Value &e = v["energy_pj"];
+    e = json::Value::object();
+    for (unsigned i = 0; i < s.energyPj.size(); ++i)
+        e[kEnergyCatNames[i]] = s.energyPj[i];
+    e["total"] = s.totalEnergyPj();
+    v["energy_cause_pj"] = obs::ledgerJson(s.causePj);
+    v["port_busy_cycles"] = double(s.portBusyCycles);
+    return v;
+}
+
+json::Value
+statsToJson(System &sys)
+{
+    json::Value root = json::Value::object();
+
+    json::Value &system = root["system"];
+    system = json::Value::object();
+    system["policy"] = policyName(sys.config().policy);
+    system["cores"] = sys.numCores();
+    system["instructions"] = sys.instructions();
+    system["cycles"] = sys.totalCycles();
+    if (sys.totalCycles() > 0)
+        system["ipc"] = sys.instructions() / sys.totalCycles();
+    system["full_system_energy_pj"] = sys.fullSystemEnergyPj();
+
+    json::Value &cores = root["cores"];
+    cores = json::Value::array();
+    for (unsigned c = 0; c < sys.numCores(); ++c) {
+        const CoreStats &cs = sys.coreStats(c);
+        json::Value core = json::Value::object();
+        core["accesses"] = cs.accesses;
+        core["l1_hits"] = cs.l1Hits;
+        core["mem_stall_cycles"] = double(cs.memStallCycles);
+        json::Value tlb = json::Value::object();
+        tlb["accesses"] = sys.tlb(c).accesses();
+        tlb["misses"] = sys.tlb(c).misses();
+        tlb["flushes"] = sys.tlb(c).flushes();
+        core["tlb"] = std::move(tlb);
+        core["l1"] = levelStatsJson(sys.l1(c).stats());
+        core["l2"] = levelStatsJson(sys.l2(c).stats());
+        cores.push(std::move(core));
+    }
+    root["l3"] = levelStatsJson(sys.l3().stats());
+
+    json::Value &dram = root["dram"];
+    dram = json::Value::object();
+    dram["reads"] = sys.dram().reads();
+    dram["writes"] = sys.dram().writes();
+    dram["metadata_accesses"] = sys.dram().metadataAccesses();
+    dram["metadata_bits"] = sys.dram().metadataBits();
+    dram["traffic_lines"] = sys.dram().totalTrafficLines();
+    dram["energy_pj"] = sys.dram().energyPj();
+    dram["demand_energy_pj"] = sys.dram().demandEnergyPj();
+    dram["metadata_energy_pj"] = sys.dram().metadataEnergyPj();
+
+    json::Value &eou = root["eou"];
+    eou = json::Value::object();
+    eou["operations"] = sys.eouOperations();
+    if (sys.eouL2()) {
+        json::Value &l2c = eou["l2_choices"];
+        l2c = json::Value::array();
+        json::Value &l3c = eou["l3_choices"];
+        l3c = json::Value::array();
+        for (std::size_t code = 0;
+             code < sys.eouL2()->choiceCounts().size(); ++code) {
+            l2c.push(sys.eouL2()->choiceCounts()[code]);
+            l3c.push(sys.eouL3()->choiceCounts()[code]);
+        }
+    }
+
+    root["pagetable"]["pages"] = sys.pageTable().pagesTouched();
+    root["metadata"]["pages"] = sys.metadataStore().pagesTracked();
+    return root;
 }
 
 } // namespace slip

@@ -12,6 +12,7 @@
 #include <string>
 
 #include "sim/system.hh"
+#include "util/json.hh"
 
 namespace slip {
 
@@ -21,6 +22,16 @@ void dumpStats(System &sys, std::ostream &os);
 /** One cache level's stats under a component prefix. */
 void dumpLevelStats(const std::string &prefix, const CacheLevelStats &s,
                     std::ostream &os);
+
+/**
+ * The same statistics as dumpStats, as a JSON tree (slip-sim
+ * --stats-json). Adds the per-cause energy ledger (energy_cause_pj)
+ * when metrics were enabled; the text dump stays byte-stable.
+ */
+json::Value statsToJson(System &sys);
+
+/** One cache level's stats as a JSON object. */
+json::Value levelStatsJson(const CacheLevelStats &s);
 
 } // namespace slip
 

@@ -4,6 +4,7 @@
 
 #include "nuca/lru_pea.hh"
 #include "nuca/nurapid.hh"
+#include "obs/trace.hh"
 #include "perf/perf_counters.hh"
 #include "slip/slip_controller.hh"
 #include "util/logging.hh"
@@ -182,6 +183,9 @@ System::recordRd(const PageCtx &ctx, unsigned level_idx, int bin)
     perf::ScopedPhase profile_scope(perf::Phase::RdProfile);
     if (!ctx.collectRd || !_isSlip || bin < 0)
         return;
+    // Only sampling pages reach here, so this is off the hot path.
+    static obs::Counter &records_ctr = obs::counter("rd.records");
+    records_ctr.add();
     _metadata.page(rdBlock(ctx.page)).dist[level_idx].record(
         static_cast<unsigned>(bin));
 }
@@ -216,13 +220,22 @@ System::handleTlbMiss(Core &core, Addr page)
                 fresh.code[kSlipL3] =
                     _eouL3->optimize(md.dist[kSlipL3].bins());
             }
+            if (obs::traceEnabled())
+                obs::emit(obs::EventKind::EouDecision, block,
+                          fresh.code[kSlipL2], fresh.code[kSlipL3]);
             if (!(fresh == pte.policies)) {
                 pte.policies = fresh;
                 pte.dirty = true;
                 ++pte.updates;
+                if (obs::traceEnabled())
+                    obs::emit(obs::EventKind::TlbUpdate, block, 1,
+                              pte.updates);
             }
-            core.l2->chargeEnergy(EnergyCat::Other, _cfg.tech.eouOpPj);
-            _l3->chargeEnergy(EnergyCat::Other, _cfg.tech.eouOpPj);
+            core.l2->chargeEnergy(EnergyCat::Other,
+                                  obs::EnergyCause::EouOp,
+                                  _cfg.tech.eouOpPj);
+            _l3->chargeEnergy(EnergyCat::Other, obs::EnergyCause::EouOp,
+                              _cfg.tech.eouOpPj);
             lat += 1;  // TLB blocked for the policy update
             pte.sampling = true;
         } else {
@@ -245,16 +258,24 @@ System::handleTlbMiss(Core &core, Addr page)
                     fresh.code[kSlipL3] =
                         _eouL3->optimize(md.dist[kSlipL3].bins());
                 }
+                if (obs::traceEnabled())
+                    obs::emit(obs::EventKind::EouDecision, block,
+                              fresh.code[kSlipL2], fresh.code[kSlipL3]);
                 if (!(fresh == pte.policies)) {
                     pte.policies = fresh;
                     pte.dirty = true;
                 }
                 ++pte.updates;
                 core.l2->chargeEnergy(EnergyCat::Other,
+                                      obs::EnergyCause::EouOp,
                                       _cfg.tech.eouOpPj);
-                _l3->chargeEnergy(EnergyCat::Other, _cfg.tech.eouOpPj);
+                _l3->chargeEnergy(EnergyCat::Other, obs::EnergyCause::EouOp,
+                                  _cfg.tech.eouOpPj);
                 lat += 1;  // TLB blocked for the policy update
             }
+            if (was_sampling != now_sampling && obs::traceEnabled())
+                obs::emit(obs::EventKind::TlbUpdate, block,
+                          now_sampling ? 1 : 0, pte.updates);
             pte.sampling = now_sampling;
         }
     }
@@ -426,6 +447,7 @@ System::access(unsigned core_id, const MemAccess &acc)
     slip_assert(core_id < _cores.size(), "core %u out of range",
                 core_id);
     Core &core = *_cores[core_id];
+    ++_accessTick;
 
     if (_cfg.contextSwitchInterval &&
         ++core.stats.accessesSinceSwitch >= _cfg.contextSwitchInterval) {
@@ -446,7 +468,8 @@ System::access(unsigned core_id, const MemAccess &acc)
 
     // The L1-hit traffic each simulated reference stands for (the
     // generators emit the post-L1 stream; see SystemConfig).
-    core.l1->chargeEnergy(EnergyCat::Access, _l1RefPj);
+    core.l1->chargeEnergy(EnergyCat::Access, obs::EnergyCause::DemandHit,
+                          _l1RefPj);
 
     perf::ScopedPhase walk_scope(perf::Phase::CacheWalk);
     PageCtx l1ctx;  // the L1 is SLIP-agnostic
@@ -467,6 +490,63 @@ System::access(unsigned core_id, const MemAccess &acc)
     ++core.stats.accesses;
     core.stats.memStallCycles +=
         static_cast<double>(lat - _cfg.l1Latency);
+
+    if (_cfg.epochIntervalRefs != 0 &&
+        ++_epochAccesses >= _cfg.epochIntervalRefs)
+        rollEpoch();
+}
+
+obs::EnergyLedger
+System::l2Ledger() const
+{
+    obs::EnergyLedger sum{};
+    for (const auto &core : _cores)
+        obs::ledgerMerge(sum, core->l2->stats().causePj);
+    return sum;
+}
+
+void
+System::rollEpoch()
+{
+    obs::EpochRecord rec;
+    rec.index = _epochIndex++;
+    rec.endTick = _accessTick;
+    rec.accesses = _epochAccesses;
+    _epochAccesses = 0;
+
+    const obs::EnergyLedger l2 = l2Ledger();
+    const obs::EnergyLedger &l3 = _l3->stats().causePj;
+    std::uint64_t l2_hits = 0;
+    for (const auto &core : _cores)
+        l2_hits += core->l2->stats().demandHits;
+    const std::uint64_t l3_hits = _l3->stats().demandHits;
+    const double l1_pj = l1EnergyPj();
+    const double dram_pj = _dram.energyPj();
+    const std::uint64_t eou_ops = eouOperations();
+
+    for (std::size_t i = 0; i < obs::kNumEnergyCauses; ++i) {
+        rec.l2Pj[i] = l2[i] - _epochL2Base[i];
+        rec.l3Pj[i] = l3[i] - _epochL3Base[i];
+    }
+    rec.l2DemandHits = l2_hits - _epochL2HitsBase;
+    rec.l3DemandHits = l3_hits - _epochL3HitsBase;
+    rec.eouOps = eou_ops - _epochEouBase;
+    rec.l1Pj = l1_pj - _epochL1Base;
+    rec.dramPj = dram_pj - _epochDramBase;
+
+    _epochL2Base = l2;
+    _epochL3Base = l3;
+    _epochL2HitsBase = l2_hits;
+    _epochL3HitsBase = l3_hits;
+    _epochEouBase = eou_ops;
+    _epochL1Base = l1_pj;
+    _epochDramBase = dram_pj;
+
+    if (obs::traceEnabled())
+        obs::emit(obs::EventKind::EpochRollover, rec.index, rec.accesses,
+                  rec.l2DemandHits + rec.l3DemandHits);
+    if (_epochSink)
+        _epochSink->records.push_back(rec);
 }
 
 void
@@ -477,11 +557,18 @@ System::run(const std::vector<AccessSource *> &sources,
     slip_assert(sources.size() == _cores.size(),
                 "need one source per core");
     perf::ScopedPhase run_scope(perf::Phase::Run);
+    // Bind trace emits (including those from NUCA controllers, which
+    // have no System reference) to this run's pid and tick.
+    obs::RunTraceScope trace_scope(_tracePid, &_accessTick);
 
     runWindow(sources, warmup_per_core);
     if (warmup_per_core > 0)
         resetStats();
     runWindow(sources, accesses_per_core);
+    // Close the final partial epoch so the series accounts every pJ of
+    // the measured window.
+    if (_cfg.epochIntervalRefs != 0 && _epochAccesses > 0)
+        rollEpoch();
 }
 
 void
@@ -541,6 +628,7 @@ System::combinedL2Stats() const
             sum.reuseHistogram[i] += s.reuseHistogram[i];
         for (unsigned i = 0; i < sum.energyPj.size(); ++i)
             sum.energyPj[i] += s.energyPj[i];
+        obs::ledgerMerge(sum.causePj, s.causePj);
         sum.portBusyCycles += s.portBusyCycles;
     }
     return sum;
@@ -631,6 +719,20 @@ System::resetStats()
         _eouL2->resetStats();
     if (_eouL3)
         _eouL3->resetStats();
+
+    // Restart epoch accounting so the series covers exactly the
+    // post-warm-up measurement window (warm-up epochs are discarded).
+    _epochAccesses = 0;
+    _epochIndex = 0;
+    _epochL2Base = obs::EnergyLedger{};
+    _epochL3Base = obs::EnergyLedger{};
+    _epochL1Base = 0.0;
+    _epochDramBase = 0.0;
+    _epochL2HitsBase = 0;
+    _epochL3HitsBase = 0;
+    _epochEouBase = 0;
+    if (_epochSink)
+        _epochSink->records.clear();
 }
 
 void

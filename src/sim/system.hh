@@ -21,6 +21,7 @@
 #include "dram/dram_model.hh"
 #include "energy/energy_params.hh"
 #include "mem/trace.hh"
+#include "obs/epoch_series.hh"
 #include "rd/metadata_store.hh"
 #include "rd/sampling.hh"
 #include "sim/policy_kind.hh"
@@ -100,6 +101,16 @@ struct SystemConfig
     double stallFactor = 0.35;
     /** Fraction of movement port-busy time exposed as stall. */
     double portContentionFactor = 0.01;
+
+    /**
+     * References (across all cores) per observability epoch; at each
+     * rollover the per-cause energy ledger delta is recorded into the
+     * attached epoch sink and an epoch_rollover trace event is
+     * emitted. 0 (the default) disables epoch accounting entirely.
+     * Deliberately excluded from sweep cache keys: observation never
+     * changes simulation outcomes.
+     */
+    std::uint64_t epochIntervalRefs = 0;
 
     std::uint64_t seed = 1;
 
@@ -192,6 +203,30 @@ class System
     /** Structural invariants of every level (tests). */
     void checkInvariants() const;
 
+    // ------------------------------------------------------------------
+    // Observability (src/obs): all no-ops unless explicitly attached.
+    // ------------------------------------------------------------------
+
+    /**
+     * Collect per-epoch ledger deltas into @p sink (not owned; must
+     * outlive the run). Requires cfg.epochIntervalRefs > 0 and obs
+     * metrics enabled for the ledger itself to accumulate.
+     */
+    void setEpochSink(obs::EpochSeries *sink) { _epochSink = sink; }
+
+    /** Trace pid identifying this run in flushed Chrome traces. */
+    void setTracePid(std::uint64_t pid) { _tracePid = pid; }
+
+    /** Logical access tick (trace timestamp domain). */
+    std::uint64_t accessTick() const { return _accessTick; }
+
+    /** L2 (summed over cores) / L3 energy ledgers so far. */
+    obs::EnergyLedger l2Ledger() const;
+    const obs::EnergyLedger &l3Ledger() const
+    {
+        return _l3->stats().causePj;
+    }
+
   private:
     struct Core
     {
@@ -215,6 +250,9 @@ class System
     /** One measurement window of run(): chunked pull + interleave. */
     void runWindow(const std::vector<AccessSource *> &sources,
                    std::uint64_t accesses_per_core);
+
+    /** Close the current epoch: record ledger deltas, emit the event. */
+    void rollEpoch();
 
     /** rd-block of a page (Section 7 granularity extension). */
     Addr
@@ -280,6 +318,22 @@ class System
     std::unique_ptr<Eou> _eouL2;
     std::unique_ptr<Eou> _eouL3;
     double _eouEnergyPj = 0.0;
+
+    // Observability state. When no sink/trace is configured the only
+    // per-access cost is one increment and one zero test.
+    std::uint64_t _accessTick = 0;     ///< monotonic over the System
+    std::uint64_t _tracePid = 0;
+    obs::EpochSeries *_epochSink = nullptr;
+    std::uint64_t _epochAccesses = 0;  ///< refs since last rollover
+    std::uint64_t _epochIndex = 0;
+    // Totals at the last rollover, so each epoch records deltas.
+    obs::EnergyLedger _epochL2Base{};
+    obs::EnergyLedger _epochL3Base{};
+    double _epochL1Base = 0.0;
+    double _epochDramBase = 0.0;
+    std::uint64_t _epochL2HitsBase = 0;
+    std::uint64_t _epochL3HitsBase = 0;
+    std::uint64_t _epochEouBase = 0;
 };
 
 } // namespace slip

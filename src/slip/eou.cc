@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "obs/metrics.hh"
 #include "util/fixed_point.hh"
 #include "util/logging.hh"
 
@@ -28,6 +29,11 @@ std::uint8_t
 Eou::optimize(const std::uint8_t *bins)
 {
     ++_ops;
+    // Local statics: optimize() only runs on sampling-state
+    // transitions, so the resolve-once guard is off the hot path.
+    static obs::Counter &ops_ctr = obs::counter("eou.operations");
+    static obs::Histogram &code_hist = obs::histogram("eou.code");
+    ops_ctr.add();
     const unsigned nbins = kNumSublevels + 1;
 
     // An empty distribution carries no information: use the Default
@@ -37,6 +43,7 @@ Eou::optimize(const std::uint8_t *bins)
         total += bins[b];
     if (total == 0) {
         ++_choices[SlipPolicy::defaultCode(kNumSublevels)];
+        code_hist.record(SlipPolicy::defaultCode(kNumSublevels));
         return SlipPolicy::defaultCode(kNumSublevels);
     }
 
@@ -59,6 +66,7 @@ Eou::optimize(const std::uint8_t *bins)
     slip_assert(best_e != std::numeric_limits<std::uint64_t>::max(),
                 "no candidate policy evaluated");
     ++_choices[best];
+    code_hist.record(best);
     return best;
 }
 

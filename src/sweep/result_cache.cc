@@ -47,9 +47,17 @@ ResultCache::lookup(const std::string &key, RunResult &r) const
     if (!enabled())
         return false;
     std::ifstream is(path(key));
-    if (!is)
+    if (!is) {
+        _counters->misses.fetch_add(1, std::memory_order_relaxed);
         return false;
-    return parseRunResult(is, r);
+    }
+    if (!parseRunResult(is, r)) {
+        _counters->corrupt.fetch_add(1, std::memory_order_relaxed);
+        _counters->misses.fetch_add(1, std::memory_order_relaxed);
+        return false;
+    }
+    _counters->hits.fetch_add(1, std::memory_order_relaxed);
+    return true;
 }
 
 void
@@ -81,7 +89,9 @@ ResultCache::store(const std::string &key, const RunResult &r) const
         warn("sweep cache: rename to %s failed: %s", final_path.c_str(),
              ec.message().c_str());
         std::filesystem::remove(tmp_path, ec);
+        return;
     }
+    _counters->stores.fetch_add(1, std::memory_order_relaxed);
 }
 
 } // namespace slip

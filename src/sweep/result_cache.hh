@@ -13,6 +13,9 @@
 #ifndef SLIP_SWEEP_RESULT_CACHE_HH
 #define SLIP_SWEEP_RESULT_CACHE_HH
 
+#include <atomic>
+#include <cstdint>
+#include <memory>
 #include <string>
 
 #include "sweep/run_result.hh"
@@ -22,8 +25,19 @@ namespace slip {
 class ResultCache
 {
   public:
+    /** Snapshot of the cache's activity counters. */
+    struct Stats
+    {
+        std::uint64_t hits = 0;    ///< lookups served from disk
+        std::uint64_t misses = 0;  ///< lookups with no usable entry
+        std::uint64_t stores = 0;  ///< results persisted
+        std::uint64_t corrupt = 0; ///< entries present but unparsable
+    };
+
     /** Cache rooted at @p dir; empty disables caching entirely. */
-    explicit ResultCache(std::string dir) : _dir(std::move(dir)) {}
+    explicit ResultCache(std::string dir)
+        : _dir(std::move(dir)), _counters(std::make_shared<Counters>())
+    {}
 
     /** Cache at $SLIP_BENCH_CACHE (default /tmp/slip_bench_cache). */
     static ResultCache fromEnv();
@@ -44,10 +58,32 @@ class ResultCache
      */
     void store(const std::string &key, const RunResult &r) const;
 
+    /** Activity counters since construction (relaxed snapshot). */
+    Stats stats() const
+    {
+        Stats s;
+        s.hits = _counters->hits.load(std::memory_order_relaxed);
+        s.misses = _counters->misses.load(std::memory_order_relaxed);
+        s.stores = _counters->stores.load(std::memory_order_relaxed);
+        s.corrupt = _counters->corrupt.load(std::memory_order_relaxed);
+        return s;
+    }
+
   private:
+    // Shared so the cache stays copyable/movable (SweepRunner takes it
+    // by value); copies observe and update the same counters.
+    struct Counters
+    {
+        std::atomic<std::uint64_t> hits{0};
+        std::atomic<std::uint64_t> misses{0};
+        std::atomic<std::uint64_t> stores{0};
+        std::atomic<std::uint64_t> corrupt{0};
+    };
+
     std::string path(const std::string &key) const;
 
     std::string _dir;
+    std::shared_ptr<Counters> _counters;
 };
 
 } // namespace slip

@@ -4,6 +4,8 @@
 #include <ostream>
 #include <sstream>
 
+#include "obs/epoch_series.hh"
+#include "obs/trace.hh"
 #include "workloads/spec_suite.hh"
 
 namespace slip {
@@ -33,6 +35,8 @@ putStats(std::ostream &os, const char *prefix, const CacheLevelStats &s)
         os << prefix << ".rh" << i << " " << s.reuseHistogram[i] << "\n";
     for (unsigned i = 0; i < s.energyPj.size(); ++i)
         os << prefix << ".e" << i << " " << s.energyPj[i] << "\n";
+    for (unsigned i = 0; i < obs::kNumEnergyCauses; ++i)
+        os << prefix << ".ec" << i << " " << s.causePj[i] << "\n";
     os << prefix << ".pbc " << s.portBusyCycles << "\n";
 }
 
@@ -64,6 +68,8 @@ getStats(const std::map<std::string, double> &kv, const std::string &p)
         s.reuseHistogram[i] = std::uint64_t(g("rh" + std::to_string(i)));
     for (unsigned i = 0; i < s.energyPj.size(); ++i)
         s.energyPj[i] = g("e" + std::to_string(i));
+    for (unsigned i = 0; i < obs::kNumEnergyCauses; ++i)
+        s.causePj[i] = g("ec" + std::to_string(i));
     s.portBusyCycles = Cycles(g("pbc"));
     return s;
 }
@@ -81,6 +87,11 @@ makeConfig(PolicyKind policy, const SweepOptions &opts, unsigned cores)
     cfg.repl = opts.repl;
     cfg.randomSublevelVictim = opts.randomSublevelVictim;
     cfg.numCores = cores;
+    // Observation settings live outside the spec (and its cache key):
+    // epoch accounting reads simulation state but never changes it.
+    const obs::RunObservation watch = obs::runObservation();
+    if (watch.collectEpochs)
+        cfg.epochIntervalRefs = watch.epochIntervalRefs;
     return cfg;
 }
 
@@ -101,6 +112,8 @@ extract(System &sys)
     r.dramMetaAccesses = double(sys.dram().metadataAccesses());
     r.dramTrafficLines = sys.dram().totalTrafficLines();
     r.dramEnergyPj = sys.dram().energyPj();
+    r.dramDemandPj = sys.dram().demandEnergyPj();
+    r.dramMetadataPj = sys.dram().metadataEnergyPj();
     for (unsigned c = 0; c < sys.numCores(); ++c)
         r.tlbMisses += double(sys.tlb(c).misses());
     r.eouOps = double(sys.eouOperations());
@@ -126,6 +139,8 @@ serializeRunResult(std::ostream &os, const RunResult &r)
     os << "dramm " << r.dramMetaAccesses << "\n";
     os << "dramt " << r.dramTrafficLines << "\n";
     os << "drampj " << r.dramEnergyPj << "\n";
+    os << "dramdpj " << r.dramDemandPj << "\n";
+    os << "drammpj " << r.dramMetadataPj << "\n";
     os << "tlbm " << r.tlbMisses << "\n";
     os << "eou " << r.eouOps << "\n";
     os << "end 1\n";
@@ -160,6 +175,8 @@ parseRunResult(std::istream &is, RunResult &r)
     r.dramMetaAccesses = g("dramm");
     r.dramTrafficLines = g("dramt");
     r.dramEnergyPj = g("drampj");
+    r.dramDemandPj = g("dramdpj");
+    r.dramMetadataPj = g("drammpj");
     r.tlbMisses = g("tlbm");
     r.eouOps = g("eou");
     return true;
@@ -179,17 +196,61 @@ operator==(const RunResult &a, const RunResult &b)
     return runResultToString(a) == runResultToString(b);
 }
 
+namespace {
+
+/**
+ * Per-run observation session: gives the run a trace identity and,
+ * when epoch collection is on, owns the epoch sink for the run and
+ * submits it to the process-wide collection at the end.
+ */
+class RunObsSession
+{
+  public:
+    RunObsSession(System &sys, const RunSpec &spec) : _sys(sys)
+    {
+        if (obs::traceEnabled()) {
+            const std::uint64_t pid = obs::tracePidFor(spec.key());
+            obs::registerTraceProcess(pid, spec.key());
+            sys.setTracePid(pid);
+        }
+        const obs::RunObservation watch = obs::runObservation();
+        if (watch.collectEpochs) {
+            _collect = true;
+            _series.label = spec.key();
+            _series.intervalRefs = watch.epochIntervalRefs;
+            sys.setEpochSink(&_series);
+        }
+    }
+
+    ~RunObsSession()
+    {
+        if (_collect) {
+            _sys.setEpochSink(nullptr);
+            obs::submitEpochSeries(std::move(_series));
+        }
+    }
+
+  private:
+    System &_sys;
+    obs::EpochSeries _series;
+    bool _collect = false;
+};
+
+} // namespace
+
 RunResult
 executeRun(const RunSpec &spec)
 {
     if (spec.isMix()) {
         System sys(makeConfig(spec.policy, spec.opts, 2));
+        RunObsSession watch(sys, spec);
         auto s0 = makeMixSource(spec.benchmark, 0);
         auto s1 = makeMixSource(spec.benchmarkB, 1);
         sys.run({s0.get(), s1.get()}, spec.opts.refs, spec.opts.warmup);
         return extract(sys);
     }
     System sys(makeConfig(spec.policy, spec.opts, 1));
+    RunObsSession watch(sys, spec);
     auto w = makeSpecWorkload(spec.benchmark);
     sys.run({w.get()}, spec.opts.refs, spec.opts.warmup);
     return extract(sys);

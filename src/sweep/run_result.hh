@@ -37,6 +37,9 @@ struct RunResult
     double dramMetaAccesses = 0;
     double dramTrafficLines = 0;
     double dramEnergyPj = 0;
+    /** dramEnergyPj split by cause (demand lines vs. metadata bits). */
+    double dramDemandPj = 0;
+    double dramMetadataPj = 0;
 
     double tlbMisses = 0;
     double eouOps = 0;

@@ -25,10 +25,12 @@ SweepOptions::SweepOptions() : tech(tech45nm())
 std::string
 SweepOptions::key() const
 {
-    // v6: results gained the invalidation counter and the end-of-file
-    // marker; bumping the version retires every pre-v6 cache entry.
+    // v7: results gained the per-cause energy ledger and the DRAM
+    // demand/metadata energy split; bumping the version retires every
+    // pre-v7 cache entry (they would parse with zero-valued ledgers).
     std::ostringstream os;
-    os << "v6_r" << refs << "_w" << warmup << "_" << tech.name << "_t"
+    os << kCacheKeyVersion << "_r" << refs << "_w" << warmup << "_"
+       << tech.name << "_t"
        << int(topology) << "_s" << int(samplingMode) << "_b"
        << rdBinBits << "_i" << eouIncludeInsertion << "_p" << int(repl)
        << "_v" << randomSublevelVictim;

@@ -23,6 +23,13 @@
 
 namespace slip {
 
+/**
+ * Version prefix of every sweep cache key. Bump whenever the RunResult
+ * serialization changes shape so stale on-disk entries are retired
+ * instead of parsed into partially-zero results.
+ */
+constexpr const char *kCacheKeyVersion = "v7";
+
 /** Sweep configuration shared by the experiment harnesses. */
 struct SweepOptions
 {

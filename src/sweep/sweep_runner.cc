@@ -3,6 +3,8 @@
 #include <chrono>
 #include <utility>
 
+#include "obs/metrics.hh"
+
 namespace slip {
 
 SweepRunner::SweepRunner(unsigned jobs, ResultCache cache)
@@ -40,6 +42,9 @@ SweepRunner::enqueue(const RunSpec &spec)
         auto it = _memo.find(key);
         if (it != _memo.end()) {
             ++_stats.memoHits;
+            static obs::Counter &memo_ctr =
+                obs::counter("sweep.memo_hits");
+            memo_ctr.add();
             return it->second;
         }
         Task task;
@@ -139,6 +144,9 @@ SweepRunner::execute(Task &task)
     rec.label = task.spec.label();
     rec.seconds = secs;
     rec.cached = cached;
+    static obs::Counter &cached_ctr = obs::counter("sweep.cache_hits");
+    static obs::Counter &exec_ctr = obs::counter("sweep.executed");
+    (cached ? cached_ctr : exec_ctr).add();
     {
         std::unique_lock<std::mutex> lock(_mu);
         if (cached)

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "mem/types.hh"
+#include "obs/metrics.hh"
 #include "util/logging.hh"
 
 namespace slip {
@@ -43,6 +44,10 @@ class Tlb
         _mask = n - 1;
         _entPage.reserve(entries);
         _entStamp.reserve(entries);
+        // Shared across all cores' TLBs; only the miss/flush paths are
+        // instrumented, never the per-reference hit path.
+        _ctrMisses = &obs::counter("tlb.misses");
+        _ctrFlushes = &obs::counter("tlb.flushes");
     }
 
     unsigned capacity() const { return _entries; }
@@ -55,6 +60,7 @@ class Tlb
         const std::size_t i = probe(page);
         if (_slots[i].idx == kAbsent) {
             ++_misses;
+            _ctrMisses->add();
             return false;
         }
         _entStamp[_slots[i].idx] = ++_clock;
@@ -120,6 +126,7 @@ class Tlb
         _entPage.clear();
         _entStamp.clear();
         ++_flushes;
+        _ctrFlushes->add();
     }
 
     std::uint64_t flushes() const { return _flushes; }
@@ -210,6 +217,9 @@ class Tlb
     std::uint64_t _accesses = 0;
     std::uint64_t _misses = 0;
     std::uint64_t _flushes = 0;
+
+    obs::Counter *_ctrMisses = nullptr;
+    obs::Counter *_ctrFlushes = nullptr;
 };
 
 } // namespace slip

@@ -1,0 +1,447 @@
+#include "util/json.hh"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <ostream>
+#include <sstream>
+
+namespace slip {
+namespace json {
+
+std::string
+formatDouble(double v)
+{
+    if (std::isnan(v))
+        return "null";
+    if (std::isinf(v))
+        return v > 0 ? "1e999" : "-1e999";
+    // Integral values within int64 range print without an exponent or
+    // fraction; "12345" is both shorter and friendlier to diff than
+    // "12345.0" and parses back identically.
+    if (v == std::floor(v) && std::fabs(v) < 1e15) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.1f", v);
+        return buf;
+    }
+    // Shortest %.*g form that round-trips to the same bits.
+    char buf[40];
+    for (int prec = 1; prec <= 17; ++prec) {
+        std::snprintf(buf, sizeof(buf), "%.*g", prec, v);
+        if (std::strtod(buf, nullptr) == v)
+            break;
+    }
+    return buf;
+}
+
+std::string
+escape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (unsigned char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += static_cast<char>(c);
+            }
+        }
+    }
+    return out;
+}
+
+Value &
+Value::operator[](const std::string &key)
+{
+    if (_kind != Kind::Object) {
+        _obj.clear();
+        _kind = Kind::Object;
+    }
+    return _obj[key];
+}
+
+void
+Value::push(Value v)
+{
+    if (_kind != Kind::Array) {
+        _arr.clear();
+        _kind = Kind::Array;
+    }
+    _arr.push_back(std::move(v));
+}
+
+const Value *
+Value::find(const std::string &key) const
+{
+    if (_kind != Kind::Object)
+        return nullptr;
+    auto it = _obj.find(key);
+    return it == _obj.end() ? nullptr : &it->second;
+}
+
+bool
+Value::asBool(bool fallback) const
+{
+    if (_kind == Kind::Bool)
+        return _b;
+    if (isNumber())
+        return asDouble() != 0.0;
+    return fallback;
+}
+
+double
+Value::asDouble(double fallback) const
+{
+    switch (_kind) {
+      case Kind::Int: return static_cast<double>(_i);
+      case Kind::UInt: return static_cast<double>(_u);
+      case Kind::Double: return _d;
+      default: return fallback;
+    }
+}
+
+std::uint64_t
+Value::asU64(std::uint64_t fallback) const
+{
+    switch (_kind) {
+      case Kind::Int: return _i < 0 ? fallback : static_cast<std::uint64_t>(_i);
+      case Kind::UInt: return _u;
+      case Kind::Double:
+        return _d < 0 ? fallback : static_cast<std::uint64_t>(_d);
+      default: return fallback;
+    }
+}
+
+std::int64_t
+Value::asI64(std::int64_t fallback) const
+{
+    switch (_kind) {
+      case Kind::Int: return _i;
+      case Kind::UInt: return static_cast<std::int64_t>(_u);
+      case Kind::Double: return static_cast<std::int64_t>(_d);
+      default: return fallback;
+    }
+}
+
+namespace {
+
+void
+indentTo(std::ostream &os, unsigned depth)
+{
+    for (unsigned i = 0; i < depth; ++i)
+        os << "  ";
+}
+
+} // namespace
+
+void
+Value::write(std::ostream &os, unsigned indent) const
+{
+    switch (_kind) {
+      case Kind::Null:
+        os << "null";
+        break;
+      case Kind::Bool:
+        os << (_b ? "true" : "false");
+        break;
+      case Kind::Int:
+        os << _i;
+        break;
+      case Kind::UInt:
+        os << _u;
+        break;
+      case Kind::Double:
+        os << formatDouble(_d);
+        break;
+      case Kind::String:
+        os << '"' << escape(_s) << '"';
+        break;
+      case Kind::Array:
+        if (_arr.empty()) {
+            os << "[]";
+            break;
+        }
+        os << "[\n";
+        for (std::size_t i = 0; i < _arr.size(); ++i) {
+            indentTo(os, indent + 1);
+            _arr[i].write(os, indent + 1);
+            if (i + 1 < _arr.size())
+                os << ',';
+            os << '\n';
+        }
+        indentTo(os, indent);
+        os << ']';
+        break;
+      case Kind::Object:
+        if (_obj.empty()) {
+            os << "{}";
+            break;
+        }
+        os << "{\n";
+        {
+            std::size_t i = 0;
+            for (const auto &kv : _obj) {
+                indentTo(os, indent + 1);
+                os << '"' << escape(kv.first) << "\": ";
+                kv.second.write(os, indent + 1);
+                if (++i < _obj.size())
+                    os << ',';
+                os << '\n';
+            }
+        }
+        indentTo(os, indent);
+        os << '}';
+        break;
+    }
+}
+
+std::string
+Value::dump() const
+{
+    std::ostringstream os;
+    write(os);
+    return os.str();
+}
+
+namespace {
+
+struct Parser
+{
+    const char *p;
+    const char *end;
+    std::string err;
+
+    void skipWs()
+    {
+        while (p < end && (*p == ' ' || *p == '\t' || *p == '\n' ||
+                           *p == '\r'))
+            ++p;
+    }
+
+    bool fail(const std::string &msg)
+    {
+        if (err.empty())
+            err = msg;
+        return false;
+    }
+
+    bool literal(const char *lit)
+    {
+        for (const char *q = lit; *q; ++q, ++p) {
+            if (p >= end || *p != *q)
+                return fail(std::string("expected '") + lit + "'");
+        }
+        return true;
+    }
+
+    bool parseString(std::string &out)
+    {
+        if (p >= end || *p != '"')
+            return fail("expected string");
+        ++p;
+        out.clear();
+        while (p < end && *p != '"') {
+            char c = *p++;
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (p >= end)
+                return fail("truncated escape");
+            char e = *p++;
+            switch (e) {
+              case '"': out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/': out += '/'; break;
+              case 'b': out += '\b'; break;
+              case 'f': out += '\f'; break;
+              case 'n': out += '\n'; break;
+              case 'r': out += '\r'; break;
+              case 't': out += '\t'; break;
+              case 'u': {
+                  if (end - p < 4)
+                      return fail("truncated \\u escape");
+                  unsigned cp = 0;
+                  for (int i = 0; i < 4; ++i) {
+                      char h = *p++;
+                      cp <<= 4;
+                      if (h >= '0' && h <= '9')
+                          cp |= h - '0';
+                      else if (h >= 'a' && h <= 'f')
+                          cp |= h - 'a' + 10;
+                      else if (h >= 'A' && h <= 'F')
+                          cp |= h - 'A' + 10;
+                      else
+                          return fail("bad \\u escape");
+                  }
+                  // Minimal UTF-8 encode; surrogate pairs are not
+                  // produced by our own writer.
+                  if (cp < 0x80) {
+                      out += static_cast<char>(cp);
+                  } else if (cp < 0x800) {
+                      out += static_cast<char>(0xc0 | (cp >> 6));
+                      out += static_cast<char>(0x80 | (cp & 0x3f));
+                  } else {
+                      out += static_cast<char>(0xe0 | (cp >> 12));
+                      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3f));
+                      out += static_cast<char>(0x80 | (cp & 0x3f));
+                  }
+                  break;
+              }
+              default:
+                return fail("bad escape");
+            }
+        }
+        if (p >= end)
+            return fail("unterminated string");
+        ++p; // closing quote
+        return true;
+    }
+
+    bool parseValue(Value &out)
+    {
+        skipWs();
+        if (p >= end)
+            return fail("unexpected end of input");
+        switch (*p) {
+          case 'n':
+            if (!literal("null"))
+                return false;
+            out = Value();
+            return true;
+          case 't':
+            if (!literal("true"))
+                return false;
+            out = Value(true);
+            return true;
+          case 'f':
+            if (!literal("false"))
+                return false;
+            out = Value(false);
+            return true;
+          case '"': {
+              std::string s;
+              if (!parseString(s))
+                  return false;
+              out = Value(std::move(s));
+              return true;
+          }
+          case '[': {
+              ++p;
+              out = Value::array();
+              skipWs();
+              if (p < end && *p == ']') {
+                  ++p;
+                  return true;
+              }
+              while (true) {
+                  Value elem;
+                  if (!parseValue(elem))
+                      return false;
+                  out.push(std::move(elem));
+                  skipWs();
+                  if (p < end && *p == ',') {
+                      ++p;
+                      continue;
+                  }
+                  if (p < end && *p == ']') {
+                      ++p;
+                      return true;
+                  }
+                  return fail("expected ',' or ']'");
+              }
+          }
+          case '{': {
+              ++p;
+              out = Value::object();
+              skipWs();
+              if (p < end && *p == '}') {
+                  ++p;
+                  return true;
+              }
+              while (true) {
+                  skipWs();
+                  std::string key;
+                  if (!parseString(key))
+                      return false;
+                  skipWs();
+                  if (p >= end || *p != ':')
+                      return fail("expected ':'");
+                  ++p;
+                  if (!parseValue(out[key]))
+                      return false;
+                  skipWs();
+                  if (p < end && *p == ',') {
+                      ++p;
+                      continue;
+                  }
+                  if (p < end && *p == '}') {
+                      ++p;
+                      return true;
+                  }
+                  return fail("expected ',' or '}'");
+              }
+          }
+          default: {
+              // Number.
+              const char *start = p;
+              if (*p == '-')
+                  ++p;
+              bool isDouble = false;
+              while (p < end &&
+                     (std::isdigit(static_cast<unsigned char>(*p)) ||
+                      *p == '.' || *p == 'e' || *p == 'E' || *p == '+' ||
+                      *p == '-')) {
+                  if (*p == '.' || *p == 'e' || *p == 'E')
+                      isDouble = true;
+                  ++p;
+              }
+              if (p == start || (p == start + 1 && *start == '-'))
+                  return fail("expected value");
+              std::string num(start, p);
+              if (isDouble) {
+                  out = Value(std::strtod(num.c_str(), nullptr));
+              } else if (num[0] == '-') {
+                  out = Value(static_cast<long long>(
+                      std::strtoll(num.c_str(), nullptr, 10)));
+              } else {
+                  out = Value(static_cast<unsigned long long>(
+                      std::strtoull(num.c_str(), nullptr, 10)));
+              }
+              return true;
+          }
+        }
+    }
+};
+
+} // namespace
+
+bool
+Value::parse(const std::string &text, Value &out, std::string *err)
+{
+    Parser parser{text.data(), text.data() + text.size(), {}};
+    bool ok = parser.parseValue(out);
+    if (ok) {
+        parser.skipWs();
+        if (parser.p != parser.end) {
+            ok = false;
+            parser.err = "trailing garbage after value";
+        }
+    }
+    if (!ok && err)
+        *err = parser.err;
+    return ok;
+}
+
+} // namespace json
+} // namespace slip

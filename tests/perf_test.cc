@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <sstream>
+#include <stdexcept>
 #include <thread>
 
 #include "perf/perf_counters.hh"
@@ -90,6 +91,57 @@ TEST_F(PerfTest, CountersAggregateAcrossThreads)
     const auto t = perf::snapshot();
     EXPECT_EQ(t.ns[unsigned(perf::Phase::Tlb)], 30u);
     EXPECT_EQ(t.calls[unsigned(perf::Phase::Tlb)], 2u);
+}
+
+TEST_F(PerfTest, NestedSamePhaseScopesDoNotDoubleCount)
+{
+    perf::setEnabled(true);
+    {
+        perf::Scope outer(perf::Phase::Eou);
+        {
+            perf::Scope inner(perf::Phase::Eou);
+            perf::Scope deeper(perf::Phase::Eou);
+        }
+        perf::Scope sibling(perf::Phase::Eou);
+    }
+    // Only the outermost scope records, so recursion through an
+    // instrumented function counts once, not once per level.
+    const auto t = perf::snapshot();
+    EXPECT_EQ(t.calls[unsigned(perf::Phase::Eou)], 1u);
+
+    // A fresh outermost scope records again: the depth bookkeeping is
+    // balanced, not stuck.
+    {
+        perf::Scope again(perf::Phase::Eou);
+    }
+    EXPECT_EQ(perf::snapshot().calls[unsigned(perf::Phase::Eou)], 2u);
+}
+
+TEST_F(PerfTest, ScopeRecordsOnExceptionUnwind)
+{
+    perf::setEnabled(true);
+    EXPECT_THROW(
+        {
+            perf::Scope s(perf::Phase::CacheWalk);
+            throw std::runtime_error("unwind through the scope");
+        },
+        std::runtime_error);
+    auto t = perf::snapshot();
+    EXPECT_EQ(t.calls[unsigned(perf::Phase::CacheWalk)], 1u);
+
+    // Unwinding through nested same-phase scopes leaves the depth
+    // balanced: the next scope is outermost again.
+    try {
+        perf::Scope outer(perf::Phase::CacheWalk);
+        perf::Scope inner(perf::Phase::CacheWalk);
+        throw std::runtime_error("unwind two levels");
+    } catch (const std::runtime_error &) {
+    }
+    {
+        perf::Scope s(perf::Phase::CacheWalk);
+    }
+    t = perf::snapshot();
+    EXPECT_EQ(t.calls[unsigned(perf::Phase::CacheWalk)], 3u);
 }
 
 TEST_F(PerfTest, JsonSchema)

@@ -1,7 +1,8 @@
 /**
  * @file
  * Unit tests for src/util: bit ops, PRNG, fixed point, saturating
- * counters, stats, and the table formatter.
+ * counters, stats, the table formatter, and the JSON serializer every
+ * artifact (--profile, --timing-json, --metrics-json, traces) shares.
  */
 
 #include <gtest/gtest.h>
@@ -11,6 +12,7 @@
 
 #include "util/bitops.hh"
 #include "util/fixed_point.hh"
+#include "util/json.hh"
 #include "util/random.hh"
 #include "util/saturating.hh"
 #include "util/stats.hh"
@@ -18,6 +20,72 @@
 
 namespace slip {
 namespace {
+
+TEST(JsonTest, ObjectKeysAreSorted)
+{
+    json::Value v = json::Value::object();
+    v["zulu"] = 1;
+    v["alpha"] = 2;
+    v["mike"] = 3;
+    const std::string s = v.dump();
+    EXPECT_LT(s.find("alpha"), s.find("mike"));
+    EXPECT_LT(s.find("mike"), s.find("zulu"));
+}
+
+TEST(JsonTest, DoublesUseShortestRoundTrip)
+{
+    EXPECT_EQ(json::formatDouble(0.6), "0.6");
+    EXPECT_EQ(json::formatDouble(0.1), "0.1");
+    EXPECT_EQ(json::formatDouble(1.0), "1.0");
+    EXPECT_EQ(json::formatDouble(1e300), "1e+300");
+    // Every finite double must parse back to exactly itself.
+    for (double d : {0.3, 1.0 / 3.0, 123456789.123456789, 5e-324}) {
+        json::Value v = d;
+        json::Value back;
+        ASSERT_TRUE(json::Value::parse(v.dump(), back, nullptr));
+        EXPECT_EQ(back.asDouble(), d);
+    }
+}
+
+TEST(JsonTest, StringEscaping)
+{
+    json::Value v = std::string("a\"b\\c\n\t\x01");
+    json::Value back;
+    std::string err;
+    ASSERT_TRUE(json::Value::parse(v.dump(), back, &err)) << err;
+    EXPECT_EQ(back.asString(), "a\"b\\c\n\t\x01");
+}
+
+TEST(JsonTest, ParseRoundTripsNestedValue)
+{
+    json::Value v = json::Value::object();
+    v["list"] = json::Value::array();
+    v["list"].push(1);
+    v["list"].push(false);
+    v["list"].push("two");
+    v["list"].push(json::Value());
+    v["nested"]["deep"] = -5;
+    v["big"] = ~0ull;
+
+    json::Value back;
+    std::string err;
+    ASSERT_TRUE(json::Value::parse(v.dump(), back, &err)) << err;
+    EXPECT_EQ(back.dump(), v.dump());
+    EXPECT_EQ(back.find("big")->asU64(), ~0ull);
+    EXPECT_EQ(back.find("nested")->find("deep")->asI64(), -5);
+    EXPECT_EQ(back.find("list")->elements().size(), 4u);
+}
+
+TEST(JsonTest, ParseRejectsMalformedInput)
+{
+    json::Value out;
+    std::string err;
+    EXPECT_FALSE(json::Value::parse("{", out, &err));
+    EXPECT_FALSE(json::Value::parse("[1,]", out, &err));
+    EXPECT_FALSE(json::Value::parse("{\"a\": 1} trailing", out, &err));
+    EXPECT_FALSE(json::Value::parse("", out, &err));
+    EXPECT_FALSE(err.empty());
+}
 
 TEST(BitopsTest, PowerOfTwo)
 {
