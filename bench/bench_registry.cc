@@ -13,6 +13,8 @@
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
 #include "perf/perf_counters.hh"
+#include "scenario/canonical.hh"
+#include "scenario/scenario.hh"
 #include "util/json.hh"
 #include "util/logging.hh"
 
@@ -38,6 +40,10 @@ usage(const char *argv0)
         "(default $SLIP_BENCH_JOBS or hardware concurrency)\n"
         "  --only a,b,...    render only the named figures\n"
         "  --list            list registered figures and exit\n"
+        "  --scenario F      run a declarative JSON scenario (may be\n"
+        "                    repeated; replaces the figure selection)\n"
+        "  --emit-scenarios D  write the canonical scenario set to\n"
+        "                    directory D and exit\n"
         "  --refs N          measured references per run "
         "(= SLIP_BENCH_REFS)\n"
         "  --warmup N        warm-up references (= SLIP_BENCH_WARMUP)\n"
@@ -194,6 +200,70 @@ writeTraceJson(const std::string &path)
         warn("could not write trace to %s", path.c_str());
 }
 
+/**
+ * The RunSpec a scenario describes. The sweep engine executes runs
+ * with the default system seed (1) and workload seed (0); scenarios
+ * that override either are rejected here rather than silently run
+ * with the wrong streams (use slip-sim --scenario for those).
+ */
+RunSpec
+scenarioRunSpec(const Scenario &s)
+{
+    if (s.seed != 1 || s.workloadSeed != 0)
+        fatal("scenario '%s': the sweep engine pins seed=1/"
+              "workload_seed=0; use slip-sim --scenario for custom "
+              "seeds",
+              s.name.c_str());
+    SweepOptions opts;
+    if (s.refs) {
+        opts.refs = s.refs;
+        opts.warmup = s.warmup;
+    }
+    opts.tech = s.tech == "22nm" ? tech22nm() : tech45nm();
+    parseTopologyKind(s.topology, opts.topology);
+    opts.samplingMode = s.sampling == "always" ? SamplingMode::Always
+                                               : SamplingMode::TimeBased;
+    opts.rdBinBits = s.rdBinBits;
+    opts.eouIncludeInsertion = s.eouIncludeInsertion;
+    parseReplKind(s.repl, opts.repl);
+    opts.randomSublevelVictim = s.randomVictim;
+    opts.hierarchy = s.hierarchy;
+
+    PolicyKind pk = PolicyKind::Baseline;
+    parsePolicyKind(s.policy, pk);
+
+    if (s.cores == 1)
+        return RunSpec::single(s.workloads[0], pk, opts);
+    if (s.cores == 2) {
+        const std::string &b = s.workloads.size() == 1
+                                   ? s.workloads[0]
+                                   : s.workloads[1];
+        return RunSpec::mix(s.workloads[0], b, pk, opts);
+    }
+    fatal("scenario '%s': the sweep engine supports 1 or 2 cores, "
+          "got %u",
+          s.name.c_str(), s.cores);
+    return RunSpec{};  // unreachable
+}
+
+void
+renderScenarioResults(
+    const std::vector<std::pair<Scenario, RunSpec>> &runs,
+    const std::vector<std::shared_future<RunResult>> &futures)
+{
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+        const Scenario &s = runs[i].first;
+        const RunResult r = futures[i].get();
+        std::printf("scenario %s (%s)\n", s.name.c_str(),
+                    runs[i].second.key().c_str());
+        std::printf("  l2_pj %.6g\n  l3_pj %.6g\n  dram_pj %.6g\n"
+                    "  full_system_pj %.6g\n  cycles %.6g\n"
+                    "  instructions %.6g\n",
+                    r.l2EnergyPj, r.l3EnergyPj, r.dramEnergyPj,
+                    r.fullSystemPj, r.cycles, r.instructions);
+    }
+}
+
 } // namespace
 
 void
@@ -216,6 +286,8 @@ benchOrchestratorMain(int argc, char **argv)
     bool list_only = false;
     bool progress = true;
     std::string only;
+    std::vector<std::string> scenario_paths;
+    std::string emit_scenarios_dir;
     std::string timing_json;
     std::string profile_json;
     std::string metrics_json;
@@ -251,6 +323,10 @@ benchOrchestratorMain(int argc, char **argv)
             only += value();
         } else if (arg == "--list") {
             list_only = true;
+        } else if (arg == "--scenario") {
+            scenario_paths.push_back(value());
+        } else if (arg == "--emit-scenarios") {
+            emit_scenarios_dir = value();
         } else if (arg == "--refs") {
             ::setenv("SLIP_BENCH_REFS", value(), 1);
         } else if (arg == "--warmup") {
@@ -280,8 +356,24 @@ benchOrchestratorMain(int argc, char **argv)
         }
     }
 
+    if (!emit_scenarios_dir.empty()) {
+        const unsigned n = emitCanonicalScenarios(emit_scenarios_dir);
+        std::fprintf(stderr, "wrote %u canonical scenarios to %s\n", n,
+                     emit_scenarios_dir.c_str());
+        return 0;
+    }
+
+    std::vector<std::pair<Scenario, RunSpec>> scenario_runs;
+    for (const auto &path : scenario_paths) {
+        Scenario s;
+        const std::string err = loadScenarioFile(path, s);
+        if (!err.empty())
+            fatal("%s", err.c_str());
+        scenario_runs.emplace_back(s, scenarioRunSpec(s));
+    }
+
     const auto &all = benchFigures();
-    if (all.empty())
+    if (all.empty() && scenario_runs.empty())
         fatal("no figures registered in this binary");
 
     if (list_only) {
@@ -290,9 +382,11 @@ benchOrchestratorMain(int argc, char **argv)
         return 0;
     }
 
-    // Resolve the figure selection.
+    // Resolve the figure selection; explicit scenarios replace it.
     std::vector<const BenchFigure *> selected;
-    if (only.empty()) {
+    if (!scenario_runs.empty()) {
+        // nothing: scenario runs only
+    } else if (only.empty()) {
         for (const auto &f : all)
             if (f.byDefault)
                 selected.push_back(&f);
@@ -353,6 +447,9 @@ benchOrchestratorMain(int argc, char **argv)
     std::vector<RunSpec> specs;
     for (const auto *f : selected)
         f->plan(specs);
+    const std::size_t figure_spec_count = specs.size();
+    for (const auto &sr : scenario_runs)
+        specs.push_back(sr.second);
 
     const auto t0 = std::chrono::steady_clock::now();
     std::vector<std::shared_future<RunResult>> futures;
@@ -406,6 +503,13 @@ benchOrchestratorMain(int argc, char **argv)
 
     // Phase 2: render every figure against the memoized sweep.
     int rc = 0;
+    if (!scenario_runs.empty()) {
+        const std::vector<std::shared_future<RunResult>> sfut(
+            futures.begin() +
+                static_cast<std::ptrdiff_t>(figure_spec_count),
+            futures.end());
+        renderScenarioResults(scenario_runs, sfut);
+    }
     bool first = true;
     for (const auto *f : selected) {
         if (!first)

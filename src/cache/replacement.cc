@@ -21,6 +21,34 @@ firstInvalid(const CacheLine *set, unsigned ways, std::uint32_t mask)
 
 } // namespace
 
+const char *
+replCliName(ReplKind kind)
+{
+    switch (kind) {
+      case ReplKind::Lru:
+        return "lru";
+      case ReplKind::Rrip:
+        return "rrip";
+      case ReplKind::Random:
+        return "random";
+    }
+    return "?";
+}
+
+bool
+parseReplKind(const std::string &v, ReplKind &out)
+{
+    if (v == "lru")
+        out = ReplKind::Lru;
+    else if (v == "rrip")
+        out = ReplKind::Rrip;
+    else if (v == "random")
+        out = ReplKind::Random;
+    else
+        return false;
+    return true;
+}
+
 std::unique_ptr<ReplacementPolicy>
 ReplacementPolicy::create(ReplKind kind, std::uint64_t seed)
 {

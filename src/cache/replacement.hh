@@ -14,6 +14,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 
 #include "cache/line.hh"
 #include "util/random.hh"
@@ -26,6 +27,12 @@ enum class ReplKind {
     Rrip,    ///< SRRIP-style re-reference interval prediction (§7)
     Random,  ///< random victim (sanity baseline)
 };
+
+/** Canonical CLI/scenario key ("lru", "rrip", "random"). */
+const char *replCliName(ReplKind kind);
+
+/** Parse a CLI/scenario replacement key; false on unknown names. */
+bool parseReplKind(const std::string &v, ReplKind &out);
 
 /** Victim selection over a way mask; state lives in the lines. */
 class ReplacementPolicy

@@ -20,6 +20,38 @@ topologyName(TopologyKind kind)
     return "unknown";
 }
 
+const char *
+topologyCliName(TopologyKind kind)
+{
+    switch (kind) {
+      case TopologyKind::HierBusWayInterleaved:
+        return "way";
+      case TopologyKind::HierBusSetInterleaved:
+        return "set";
+      case TopologyKind::HTree:
+        return "htree";
+      case TopologyKind::RingSlice:
+        return "ring";
+    }
+    return "?";
+}
+
+bool
+parseTopologyKind(const std::string &v, TopologyKind &out)
+{
+    if (v == "way")
+        out = TopologyKind::HierBusWayInterleaved;
+    else if (v == "set")
+        out = TopologyKind::HierBusSetInterleaved;
+    else if (v == "htree")
+        out = TopologyKind::HTree;
+    else if (v == "ring")
+        out = TopologyKind::RingSlice;
+    else
+        return false;
+    return true;
+}
+
 CacheTopology::CacheTopology(TopologyKind kind,
                              const LevelEnergyParams &params,
                              unsigned ways,

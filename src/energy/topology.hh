@@ -24,6 +24,7 @@
 #define SLIP_ENERGY_TOPOLOGY_HH
 
 #include <array>
+#include <string>
 #include <vector>
 
 #include "energy/energy_params.hh"
@@ -45,6 +46,12 @@ enum class TopologyKind {
 
 /** Human-readable topology name. */
 const char *topologyName(TopologyKind kind);
+
+/** Canonical CLI/scenario key ("way", "set", "htree", "ring"). */
+const char *topologyCliName(TopologyKind kind);
+
+/** Parse a CLI/scenario topology key; false on unknown names. */
+bool parseTopologyKind(const std::string &v, TopologyKind &out);
 
 /**
  * Per-way energy/latency model of one cache level under a chosen

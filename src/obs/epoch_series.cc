@@ -88,13 +88,13 @@ epochSeriesJson(const EpochSeries &series)
         e["index"] = r.index;
         e["end_tick"] = r.endTick;
         e["accesses"] = r.accesses;
-        e["l2_demand_hits"] = r.l2DemandHits;
-        e["l3_demand_hits"] = r.l3DemandHits;
         e["eou_ops"] = r.eouOps;
         e["l1_pj"] = r.l1Pj;
         e["dram_pj"] = r.dramPj;
-        e["l2_pj"] = ledgerJson(r.l2Pj);
-        e["l3_pj"] = ledgerJson(r.l3Pj);
+        for (const LevelEpoch &lvl : r.levels) {
+            e[lvl.name + "_demand_hits"] = lvl.demandHits;
+            e[lvl.name + "_pj"] = ledgerJson(lvl.pj);
+        }
         epochs.push(std::move(e));
     }
     out["epochs"] = std::move(epochs);

@@ -30,19 +30,27 @@
 namespace slip {
 namespace obs {
 
+/** One outer level's deltas within an epoch. */
+struct LevelEpoch
+{
+    std::string name;  ///< level name ("l2", "l3", ...)
+    std::uint64_t demandHits = 0;
+    EnergyLedger pj{};
+};
+
 /** One epoch's deltas (everything since the previous rollover). */
 struct EpochRecord
 {
     std::uint64_t index = 0;    ///< epoch number within the run
     std::uint64_t endTick = 0;  ///< logical access tick at rollover
     std::uint64_t accesses = 0; ///< core references in the epoch
-    std::uint64_t l2DemandHits = 0;
-    std::uint64_t l3DemandHits = 0;
     std::uint64_t eouOps = 0;
     double l1Pj = 0.0;
     double dramPj = 0.0;
-    EnergyLedger l2Pj{};
-    EnergyLedger l3Pj{};
+    /** Outer levels (hierarchy levels 1..N-1) in order; serialized as
+     * "<name>_demand_hits" / "<name>_pj" keys, so the classic
+     * three-level hierarchy keeps its l2/l3-prefixed keys. */
+    std::vector<LevelEpoch> levels;
 };
 
 /** The full series for one run. */

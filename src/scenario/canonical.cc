@@ -1,0 +1,309 @@
+#include "scenario/canonical.hh"
+
+#include <fstream>
+
+#include "util/logging.hh"
+
+namespace slip {
+
+namespace {
+
+/** The classic Table 1 hierarchy, spelled out explicitly. Scenario
+ * files carry the full spelling (self-documenting); HierarchySpec
+ * canonicalization makes it key-identical to an empty spec. */
+HierarchySpec
+classicSpelledOut()
+{
+    return HierarchySpec::classic();
+}
+
+Scenario
+base(const std::string &name, const std::string &description)
+{
+    Scenario s;
+    s.name = name;
+    s.description = description;
+    s.workloads = {"soplex"};
+    s.refs = 1'500'000;
+    s.warmup = 1'500'000;
+    s.hierarchy = classicSpelledOut();
+    return s;
+}
+
+/** One representative run per paper figure: the figure's flagship
+ * policy/knob on its flagship workload, at the sweep default length.
+ * The full sweeps stay in the slip-bench figure code; these pin the
+ * *configuration space* each figure explores in declarative form. */
+void
+addFigureScenarios(std::vector<Scenario> &out)
+{
+    {
+        Scenario s = base("fig01_reuse_breakdown",
+                          "Figure 1: L2/L3 reuse breakdown under the "
+                          "baseline hierarchy");
+        s.policy = "baseline";
+        out.push_back(s);
+    }
+    {
+        Scenario s = base("fig03_soplex_patterns",
+                          "Figure 3: soplex bimodal reuse-distance "
+                          "pattern capture");
+        s.policy = "baseline";
+        out.push_back(s);
+    }
+    {
+        Scenario s = base("fig09_energy_savings",
+                          "Figure 9: L2/L3 wire-energy savings under "
+                          "SLIP+ABP");
+        s.policy = "slip+abp";
+        out.push_back(s);
+    }
+    {
+        Scenario s = base("fig10_fullsystem_energy",
+                          "Figure 10: full-system dynamic energy under "
+                          "SLIP+ABP");
+        s.policy = "slip+abp";
+        out.push_back(s);
+    }
+    {
+        Scenario s = base("fig11_energy_breakdown",
+                          "Figure 11: per-segment energy breakdown "
+                          "under SLIP+ABP");
+        s.policy = "slip+abp";
+        out.push_back(s);
+    }
+    {
+        Scenario s = base("fig12_miss_traffic",
+                          "Figure 12: miss and DRAM traffic impact of "
+                          "SLIP+ABP");
+        s.policy = "slip+abp";
+        s.workloads = {"mcf"};
+        out.push_back(s);
+    }
+    {
+        Scenario s = base("fig13_speedup",
+                          "Figure 13: execution-time impact of "
+                          "SLIP+ABP");
+        s.policy = "slip+abp";
+        out.push_back(s);
+    }
+    {
+        Scenario s = base("fig14_insertion_classes",
+                          "Figure 14: insertion-class mix chosen by "
+                          "the EOU");
+        s.policy = "slip+abp";
+        out.push_back(s);
+    }
+    {
+        Scenario s = base("fig15_sublevel_fractions",
+                          "Figure 15: access fraction per "
+                          "energy-asymmetric sublevel");
+        s.policy = "slip";
+        out.push_back(s);
+    }
+    {
+        Scenario s = base("fig16_multicore",
+                          "Figure 16: two-core multiprogrammed mix "
+                          "under SLIP+ABP");
+        s.policy = "slip+abp";
+        s.cores = 2;
+        s.workloads = {"soplex", "mcf"};
+        out.push_back(s);
+    }
+    {
+        Scenario s = base("tbl_bitwidth_sensitivity",
+                          "Table: distribution counter width "
+                          "sensitivity (2-bit counters)");
+        s.policy = "slip+abp";
+        s.rdBinBits = 2;
+        out.push_back(s);
+    }
+    {
+        Scenario s = base("tbl_htree_comparison",
+                          "Table: H-tree topology comparison "
+                          "(baseline policy)");
+        s.policy = "baseline";
+        s.topology = "htree";
+        out.push_back(s);
+    }
+    {
+        Scenario s = base("tbl_sampling_traffic",
+                          "Table: metadata traffic of the pre-sampling "
+                          "always-fetch design");
+        s.policy = "slip+abp";
+        s.sampling = "always";
+        out.push_back(s);
+    }
+    {
+        Scenario s = base("tbl_tech22nm",
+                          "Table: 22nm technology projection under "
+                          "SLIP+ABP");
+        s.policy = "slip+abp";
+        s.tech = "22nm";
+        out.push_back(s);
+    }
+    {
+        Scenario s = base("abl_insertion_model",
+                          "Ablation: strict Equations 1-4 EOU "
+                          "coefficients (no insertion term)");
+        s.policy = "slip+abp";
+        s.eouIncludeInsertion = false;
+        out.push_back(s);
+    }
+    {
+        Scenario s = base("abl_replacement",
+                          "Ablation: SLIP+ABP over RRIP with "
+                          "randomized sublevel victims");
+        s.policy = "slip+abp";
+        s.repl = "rrip";
+        s.randomVictim = true;
+        out.push_back(s);
+    }
+}
+
+/** The golden_stats_test configurations: classic hierarchy, reduced
+ * length, workload seed 0 / system seed 1. scenario_test proves a
+ * System built from these reproduces tests/golden/ byte-for-byte. */
+void
+addGoldenScenarios(std::vector<Scenario> &out)
+{
+    for (const char *policy : {"baseline", "slip"}) {
+        Scenario s = base(std::string("golden_soplex_") + policy,
+                          "Golden-fixture configuration: classic "
+                          "hierarchy at the reduced reference count");
+        s.policy = policy;
+        s.refs = 40'000;
+        s.warmup = 40'000;
+        s.seed = 1;
+        s.workloadSeed = 0;
+        out.push_back(s);
+    }
+}
+
+/** Hierarchy shapes beyond Table 1, exercised by scenario_test and
+ * the CI scenario matrix. */
+void
+addShapeScenarios(std::vector<Scenario> &out)
+{
+    {
+        // Two levels: private L1 under one shared SLIP-managed LLC.
+        Scenario s = base("hier2_flat_llc",
+                          "Two-level hierarchy: the SLIP LLC directly "
+                          "behind the L1 filter");
+        s.policy = "slip";
+        s.refs = 200'000;
+        s.warmup = 200'000;
+        s.hierarchy.levels.clear();
+        LevelSpec l1;
+        l1.name = "l1";
+        l1.sizeBytes = 32 * 1024;
+        l1.ways = 8;
+        l1.isPrivate = true;
+        l1.inclusive = Tri::Off;
+        l1.policy = "baseline";
+        l1.topology = "set";
+        l1.repl = "lru";
+        l1.randomVictim = Tri::Off;
+        l1.energy = "l1";
+        l1.latency = 4;
+        l1.sublevelWays = {2, 2, 4};
+        l1.waysPerRow = 2;
+        s.hierarchy.levels.push_back(l1);
+        LevelSpec llc;
+        llc.name = "llc";
+        llc.sizeBytes = 1024 * 1024;
+        llc.ways = 16;
+        llc.isPrivate = false;
+        llc.energy = "l3";
+        s.hierarchy.levels.push_back(llc);
+        out.push_back(s);
+    }
+    {
+        // Three levels, inclusive LLC: the Section 4.3 coherence
+        // simplification (ABP withheld at the last level).
+        Scenario s = base("hier3_inclusive",
+                          "Classic three-level hierarchy with an "
+                          "inclusive LLC (ABP withheld)");
+        s.policy = "slip+abp";
+        s.inclusiveLast = true;
+        s.refs = 200'000;
+        s.warmup = 200'000;
+        out.push_back(s);
+    }
+    {
+        // Four levels: a private mid-level between L2 and the LLC;
+        // SLIP manages L2 and the LLC (the two RD slots).
+        Scenario s = base("hier4_deep",
+                          "Four-level hierarchy: SLIP on L2 and the "
+                          "LLC, baseline L3 in between");
+        s.policy = "baseline";
+        s.refs = 200'000;
+        s.warmup = 200'000;
+        s.hierarchy = HierarchySpec::classic();
+        s.hierarchy.levels[1].policy = "slip";
+        LevelSpec l3;
+        l3.name = "l3";
+        l3.sizeBytes = 1024 * 1024;
+        l3.ways = 16;
+        l3.isPrivate = true;
+        l3.inclusive = Tri::Off;
+        l3.policy = "baseline";
+        l3.energy = "l2";
+        s.hierarchy.levels.insert(s.hierarchy.levels.begin() + 2, l3);
+        s.hierarchy.levels[3].name = "l4";
+        s.hierarchy.levels[3].policy = "slip";
+        s.hierarchy.levels[3].sizeBytes = 4 * 1024 * 1024;
+        out.push_back(s);
+    }
+    {
+        // Mixed per-level policies from the registry: a NUCA policy
+        // at L2 under a SLIP-managed LLC.
+        Scenario s = base("hier3_mixed_policies",
+                          "Per-level policy mix: LRU-PEA L2 under a "
+                          "SLIP LLC");
+        s.policy = "baseline";
+        s.refs = 200'000;
+        s.warmup = 200'000;
+        s.hierarchy = HierarchySpec::classic();
+        s.hierarchy.levels[1].policy = "lru-pea";
+        s.hierarchy.levels[2].policy = "slip";
+        out.push_back(s);
+    }
+}
+
+} // namespace
+
+std::vector<Scenario>
+canonicalScenarios()
+{
+    std::vector<Scenario> out;
+    addFigureScenarios(out);
+    addGoldenScenarios(out);
+    addShapeScenarios(out);
+    return out;
+}
+
+std::string
+canonicalScenarioText(const Scenario &s)
+{
+    return scenarioJson(s).dump() + "\n";
+}
+
+unsigned
+emitCanonicalScenarios(const std::string &dir)
+{
+    unsigned written = 0;
+    for (const Scenario &s : canonicalScenarios()) {
+        const std::string path = dir + "/" + s.name + ".json";
+        std::ofstream os(path, std::ios::binary);
+        if (!os)
+            fatal("cannot write scenario '%s'", path.c_str());
+        os << canonicalScenarioText(s);
+        if (!os.good())
+            fatal("short write to '%s'", path.c_str());
+        ++written;
+    }
+    return written;
+}
+
+} // namespace slip

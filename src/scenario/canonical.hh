@@ -1,0 +1,38 @@
+/**
+ * @file
+ * The canonical scenario set: one generated JSON scenario per paper
+ * figure (the slip-bench registry), the golden-fixture
+ * configurations, and the hierarchy-shape smoke scenarios CI runs.
+ *
+ * The checked-in files under scenarios/ are byte-for-byte the output
+ * of emitCanonicalScenarios() — scenario_test regenerates them in a
+ * temp dir and compares, so a drift between the programmatic
+ * definitions and the files is a test failure, never a silent skew
+ * (regenerate with SLIP_SCENARIO_REGEN=1, like the golden fixtures).
+ */
+
+#ifndef SLIP_SCENARIO_CANONICAL_HH
+#define SLIP_SCENARIO_CANONICAL_HH
+
+#include <string>
+#include <vector>
+
+#include "scenario/scenario.hh"
+
+namespace slip {
+
+/** Every canonical scenario, file order = definition order. */
+std::vector<Scenario> canonicalScenarios();
+
+/** Scenario text exactly as written to scenarios/<name>.json. */
+std::string canonicalScenarioText(const Scenario &s);
+
+/**
+ * Write each canonical scenario to @p dir/<name>.json.
+ * @return the number of files written (fatal on I/O errors)
+ */
+unsigned emitCanonicalScenarios(const std::string &dir);
+
+} // namespace slip
+
+#endif // SLIP_SCENARIO_CANONICAL_HH

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Declarative run scenarios: a JSON file fully describing a
+ * simulation — hierarchy, policy, workload(s), reference counts, and
+ * the reuse-distance knobs — loadable by `slip-sim --scenario` and
+ * `slip-bench --scenario`.
+ *
+ * A scenario is the file-format twin of SystemConfig + a workload
+ * binding. Parsing is strict: unknown keys, wrong types, and
+ * structurally invalid hierarchies fail with a message naming the
+ * offending JSON path ("$.levels[2].ways: ..."), so a typo in a
+ * scenario never silently falls back to a default. Fields left out
+ * inherit the same defaults as the programmatic API, which keeps a
+ * scenario spelling out the classic configuration key-compatible
+ * (sweep/run_spec.hh) with the equivalent CLI invocation.
+ */
+
+#ifndef SLIP_SCENARIO_SCENARIO_HH
+#define SLIP_SCENARIO_SCENARIO_HH
+
+#include <string>
+#include <vector>
+
+#include "sim/system.hh"
+#include "util/json.hh"
+
+namespace slip {
+
+/** One declarative run description (see scenarios/README.md). */
+struct Scenario
+{
+    std::string name;
+    std::string description;
+
+    /** Policy registry key ("baseline", "slip+abp", ...). */
+    std::string policy = "baseline";
+    std::string tech = "45nm";     ///< TechParams name ("45nm"/"22nm")
+    std::string topology = "way";  ///< default topology CLI key
+    std::string repl = "lru";      ///< default replacement CLI key
+    bool randomVictim = false;
+    bool inclusiveLast = false;
+
+    unsigned cores = 1;
+    /**
+     * One workload name per core; a single entry is replicated across
+     * cores with per-core address offsets (the Figure 16 mix rule).
+     */
+    std::vector<std::string> workloads;
+
+    std::uint64_t refs = 0;    ///< per-core references; 0 = caller's
+    std::uint64_t warmup = 0;  ///< per-core warm-up references
+
+    unsigned rdBinBits = 4;
+    std::string sampling = "time";  ///< "time" or "always"
+    bool eouIncludeInsertion = true;
+    unsigned rdBlockPages = 1;
+    std::uint64_t seed = 1;
+    /** Seed of the workload generators (independent of the system
+     * seed; the golden fixtures pin workload seed 0, system seed 1). */
+    std::uint64_t workloadSeed = 0;
+
+    /** Empty = the classic Table 1 three-level hierarchy. */
+    HierarchySpec hierarchy;
+};
+
+/**
+ * Parse @p root into @p out. Returns "" on success, else an error
+ * naming the offending JSON path.
+ */
+std::string parseScenario(const json::Value &root, Scenario &out);
+
+/** Parse scenario JSON text (syntax errors included). */
+std::string parseScenarioText(const std::string &text, Scenario &out);
+
+/** Load and parse @p path. Returns "" on success. */
+std::string loadScenarioFile(const std::string &path, Scenario &out);
+
+/**
+ * Semantic validation beyond parseScenario's structural checks:
+ * workload names resolve, policy keys are registered, the hierarchy
+ * resolves against the scenario's defaults (catching unknown
+ * topology/repl keys and over-subscribed SLIP slots). Returns "".
+ */
+std::string validateScenario(const Scenario &s);
+
+/** The SystemConfig a scenario describes. */
+SystemConfig scenarioSystemConfig(const Scenario &s);
+
+/** Serialize (round-trips through parseScenario). */
+json::Value scenarioJson(const Scenario &s);
+
+} // namespace slip
+
+#endif // SLIP_SCENARIO_SCENARIO_HH

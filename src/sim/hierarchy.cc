@@ -1,0 +1,308 @@
+#include "sim/hierarchy.hh"
+
+#include <set>
+#include <sstream>
+
+#include "util/bitops.hh"
+
+namespace slip {
+
+namespace {
+
+const char *
+triChar(Tri t)
+{
+    switch (t) {
+      case Tri::Inherit:
+        return "i";
+      case Tri::Off:
+        return "0";
+      case Tri::On:
+        return "1";
+    }
+    return "?";
+}
+
+bool
+resolveTri(Tri t, bool inherited)
+{
+    return t == Tri::Inherit ? inherited : t == Tri::On;
+}
+
+/** Positional seed-stream defaults reproducing the classic layout:
+ * L1 101, middle levels 151/251/..., last level 31+7. */
+void
+positionalSeed(std::size_t idx, std::size_t nlevels,
+               std::uint64_t &mul, std::uint64_t &add)
+{
+    if (idx == 0) {
+        mul = 101;
+        add = 0;
+    } else if (idx + 1 == nlevels) {
+        mul = 31;
+        add = 7;
+    } else {
+        mul = 151 + 100 * (idx - 1);
+        add = 0;
+    }
+}
+
+std::string
+positionalEnergy(std::size_t idx, std::size_t nlevels)
+{
+    if (idx == 0)
+        return "l1";
+    if (idx + 1 == nlevels)
+        return "l3";
+    return "l2";
+}
+
+bool
+validName(const std::string &name)
+{
+    if (name.empty())
+        return false;
+    for (char c : name) {
+        const bool ok = (c >= 'a' && c <= 'z') ||
+                        (c >= '0' && c <= '9') || c == '_' || c == '-';
+        if (!ok)
+            return false;
+    }
+    return true;
+}
+
+} // namespace
+
+HierarchySpec
+HierarchySpec::classic()
+{
+    HierarchySpec h;
+
+    LevelSpec l1;
+    l1.name = "l1";
+    l1.sizeBytes = 32 * 1024;
+    l1.ways = 8;
+    l1.isPrivate = true;
+    l1.inclusive = Tri::Off;
+    l1.policy = "baseline";
+    l1.topology = "set";
+    l1.repl = "lru";
+    l1.randomVictim = Tri::Off;
+    l1.energy = "l1";
+    l1.latency = 4;
+    l1.sublevelWays = {2, 2, 4};
+    l1.waysPerRow = 2;
+    h.levels.push_back(l1);
+
+    LevelSpec l2;
+    l2.name = "l2";
+    l2.sizeBytes = 256 * 1024;
+    l2.ways = 16;
+    l2.isPrivate = true;
+    l2.inclusive = Tri::Off;
+    l2.energy = "l2";
+    h.levels.push_back(l2);
+
+    LevelSpec l3;
+    l3.name = "l3";
+    l3.sizeBytes = 2 * 1024 * 1024;
+    l3.ways = 16;
+    l3.isPrivate = false;
+    l3.inclusive = Tri::Inherit;
+    l3.energy = "l3";
+    h.levels.push_back(l3);
+
+    return h;
+}
+
+std::string
+HierarchySpec::key() const
+{
+    const HierarchySpec resolved = empty() ? classic() : *this;
+    std::ostringstream os;
+    os << "h" << resolved.levels.size();
+    for (std::size_t i = 0; i < resolved.levels.size(); ++i) {
+        const LevelSpec &l = resolved.levels[i];
+        std::uint64_t mul = l.seedMul, add = l.seedAdd;
+        if (mul == 0)
+            positionalSeed(i, resolved.levels.size(), mul, add);
+        std::string energy = l.energy;
+        if (energy.empty())
+            energy = positionalEnergy(i, resolved.levels.size());
+        os << ";" << l.name << "," << l.sizeBytes << "," << l.ways
+           << "," << (l.isPrivate ? "p" : "s") << ","
+           << triChar(l.inclusive) << ","
+           << (l.policy.empty() ? "*" : l.policy) << ","
+           << (l.topology.empty() ? "*" : l.topology) << ","
+           << (l.repl.empty() ? "*" : l.repl) << ","
+           << triChar(l.randomVictim) << "," << energy << ","
+           << l.latency << "," << l.sublevelWays[0] << "-"
+           << l.sublevelWays[1] << "-" << l.sublevelWays[2] << ","
+           << l.waysPerRow << "," << mul << "+" << add;
+    }
+    return os.str();
+}
+
+std::string
+HierarchySpec::validate() const
+{
+    if (empty())
+        return "";
+    std::ostringstream err;
+    if (levels.size() < 2) {
+        err << "hierarchy needs at least 2 levels, got "
+            << levels.size();
+        return err.str();
+    }
+    if (levels.size() > 8) {
+        err << "hierarchy capped at 8 levels, got " << levels.size();
+        return err.str();
+    }
+    std::set<std::string> names;
+    for (std::size_t i = 0; i < levels.size(); ++i) {
+        const LevelSpec &l = levels[i];
+        const std::string where = "level " + std::to_string(i) +
+                                  " ('" + l.name + "')";
+        if (!validName(l.name))
+            return where + ": name must be non-empty [a-z0-9_-]";
+        if (!names.insert(l.name).second)
+            return where + ": duplicate level name";
+        if (l.ways == 0 || !isPowerOf2(l.ways) || l.ways > 32)
+            return where + ": ways must be a power of two in [1, 32]";
+        if (l.sizeBytes == 0 || !isPowerOf2(l.sizeBytes))
+            return where + ": size must be a power of two";
+        if (l.sizeBytes < std::uint64_t(l.ways) * kLineSize)
+            return where + ": size smaller than one set";
+        unsigned slsum = 0;
+        for (unsigned sl = 0; sl < kNumSublevels; ++sl) {
+            if (l.sublevelWays[sl] == 0)
+                return where + ": sublevel ways must be nonzero";
+            slsum += l.sublevelWays[sl];
+        }
+        if (slsum != l.ways)
+            return where + ": sublevel ways must sum to ways";
+        if (l.waysPerRow == 0 || l.waysPerRow > l.ways)
+            return where + ": ways_per_row must be in [1, ways]";
+    }
+    if (!levels[0].isPrivate)
+        return "level 0 ('" + levels[0].name +
+               "'): innermost level must be private";
+    if (!levels[0].policy.empty() && levels[0].policy != "baseline")
+        return "level 0 ('" + levels[0].name +
+               "'): innermost level is SLIP-agnostic and must use the "
+               "baseline policy";
+    if (levels[0].inclusive == Tri::On)
+        return "level 0 ('" + levels[0].name +
+               "'): innermost level cannot be inclusive";
+    return "";
+}
+
+bool
+operator==(const LevelSpec &a, const LevelSpec &b)
+{
+    return a.name == b.name && a.sizeBytes == b.sizeBytes &&
+           a.ways == b.ways && a.isPrivate == b.isPrivate &&
+           a.inclusive == b.inclusive && a.policy == b.policy &&
+           a.topology == b.topology && a.repl == b.repl &&
+           a.randomVictim == b.randomVictim && a.energy == b.energy &&
+           a.latency == b.latency &&
+           a.sublevelWays == b.sublevelWays &&
+           a.waysPerRow == b.waysPerRow && a.seedMul == b.seedMul &&
+           a.seedAdd == b.seedAdd;
+}
+
+bool
+operator==(const HierarchySpec &a, const HierarchySpec &b)
+{
+    return a.levels == b.levels;
+}
+
+std::vector<ResolvedLevel>
+resolveHierarchy(const HierarchySpec &spec, const HierarchyDefaults &defs,
+                 std::string *err)
+{
+    const HierarchySpec &h = spec.empty() ? HierarchySpec::classic()
+                                          : spec;
+    const std::string bad = h.validate();
+    if (!bad.empty()) {
+        if (err)
+            *err = bad;
+        return {};
+    }
+
+    std::vector<ResolvedLevel> out;
+    for (std::size_t i = 0; i < h.levels.size(); ++i) {
+        const LevelSpec &l = h.levels[i];
+        ResolvedLevel r;
+        r.name = l.name;
+        r.sizeBytes = l.sizeBytes;
+        r.ways = l.ways;
+        r.shared = !l.isPrivate;
+        const bool incl_default =
+            (i + 1 == h.levels.size()) && defs.inclusiveLast;
+        r.inclusive = resolveTri(l.inclusive, incl_default);
+
+        if (l.policy.empty())
+            r.policy = i == 0 ? "baseline" : defs.policy;
+        else
+            r.policy = l.policy;
+
+        if (l.topology.empty()) {
+            r.topology = defs.topology;
+        } else if (!parseTopologyKind(l.topology, r.topology)) {
+            if (err)
+                *err = "level " + std::to_string(i) +
+                       ": unknown topology '" + l.topology + "'";
+            return {};
+        }
+
+        if (l.repl.empty()) {
+            r.repl = defs.repl;
+        } else if (!parseReplKind(l.repl, r.repl)) {
+            if (err)
+                *err = "level " + std::to_string(i) +
+                       ": unknown replacement '" + l.repl + "'";
+            return {};
+        }
+
+        r.randomVictim = resolveTri(l.randomVictim, defs.randomVictim);
+
+        std::string energy = l.energy;
+        if (energy.empty())
+            energy = positionalEnergy(i, h.levels.size());
+        if (energy == "l1") {
+            LevelEnergyParams p;
+            p.baselineAccessPj = defs.tech->l1AccessPj;
+            p.baselineLatency = l.latency;
+            p.sublevelAccessPj = {defs.tech->l1AccessPj,
+                                  defs.tech->l1AccessPj,
+                                  defs.tech->l1AccessPj};
+            p.sublevelLatency = {l.latency, l.latency, l.latency};
+            p.metadataPj = 0.0;
+            r.energy = p;
+        } else if (energy == "l2") {
+            r.energy = defs.tech->l2;
+        } else if (energy == "l3") {
+            r.energy = defs.tech->l3;
+        } else {
+            if (err)
+                *err = "level " + std::to_string(i) +
+                       ": unknown energy reference '" + energy +
+                       "' (want l1|l2|l3)";
+            return {};
+        }
+
+        r.sublevelWays = l.sublevelWays;
+        r.waysPerRow = l.waysPerRow;
+        r.seedMul = l.seedMul;
+        r.seedAdd = l.seedAdd;
+        if (r.seedMul == 0)
+            positionalSeed(i, h.levels.size(), r.seedMul, r.seedAdd);
+        out.push_back(std::move(r));
+    }
+    if (err)
+        err->clear();
+    return out;
+}
+
+} // namespace slip

@@ -19,6 +19,7 @@
 
 #include "mem/trace_io.hh"
 #include "obs/metrics.hh"
+#include "scenario/scenario.hh"
 #include "sim/stats_dump.hh"
 #include "sim/system.hh"
 #include "workloads/spec_suite.hh"
@@ -35,6 +36,10 @@ usage()
         "\n"
         "  --bench NAME        workload from the SPEC-like suite\n"
         "  --trace FILE        drive from a trace file instead\n"
+        "  --scenario FILE     load a declarative JSON scenario\n"
+        "                      (hierarchy, policy, workloads; see\n"
+        "                      scenarios/README.md). --refs/--warmup/\n"
+        "                      --seed/--stats* still apply on top\n"
         "  --loop-trace        loop the trace when exhausted\n"
         "  --policy P          baseline | nurapid | lru-pea | slip |\n"
         "                      slip+abp           (default baseline)\n"
@@ -61,32 +66,15 @@ usage()
         "  --list              list available benchmarks\n");
 }
 
-bool
-parsePolicy(const std::string &v, PolicyKind &out)
-{
-    if (v == "baseline")
-        out = PolicyKind::Baseline;
-    else if (v == "nurapid")
-        out = PolicyKind::NuRapid;
-    else if (v == "lru-pea" || v == "lrupea")
-        out = PolicyKind::LruPea;
-    else if (v == "slip")
-        out = PolicyKind::Slip;
-    else if (v == "slip+abp" || v == "slip-abp")
-        out = PolicyKind::SlipAbp;
-    else
-        return false;
-    return true;
-}
-
 } // namespace
 
 int
 main(int argc, char **argv)
 {
-    std::string benchn, trace_path, stats_path, stats_json_path,
-        dump_path;
+    std::string benchn, trace_path, scenario_path, stats_path,
+        stats_json_path, dump_path;
     bool loop_trace = false;
+    bool refs_set = false, warmup_set = false, seed_set = false;
     std::uint64_t refs = 2'000'000;
     std::uint64_t warmup = ~0ull;
     SystemConfig cfg;
@@ -109,15 +97,19 @@ main(int argc, char **argv)
             benchn = value();
         } else if (arg == "--trace") {
             trace_path = value();
+        } else if (arg == "--scenario") {
+            scenario_path = value();
         } else if (arg == "--loop-trace") {
             loop_trace = true;
         } else if (arg == "--policy") {
-            if (!parsePolicy(value(), cfg.policy))
+            if (!parsePolicyKind(value(), cfg.policy))
                 fatal("unknown policy (see --help)");
         } else if (arg == "--refs") {
             refs = std::strtoull(value().c_str(), nullptr, 0);
+            refs_set = true;
         } else if (arg == "--warmup") {
             warmup = std::strtoull(value().c_str(), nullptr, 0);
+            warmup_set = true;
         } else if (arg == "--cores") {
             cfg.numCores =
                 unsigned(std::strtoul(value().c_str(), nullptr, 0));
@@ -131,25 +123,16 @@ main(int argc, char **argv)
                 fatal("unknown tech node '%s'", t.c_str());
         } else if (arg == "--topology") {
             const std::string t = value();
-            if (t == "way")
-                cfg.topology = TopologyKind::HierBusWayInterleaved;
-            else if (t == "set")
-                cfg.topology = TopologyKind::HierBusSetInterleaved;
-            else if (t == "htree")
-                cfg.topology = TopologyKind::HTree;
-            else
+            if (!parseTopologyKind(t, cfg.topology))
                 fatal("unknown topology '%s'", t.c_str());
         } else if (arg == "--repl") {
             const std::string r = value();
-            if (r == "lru")
-                cfg.repl = ReplKind::Lru;
-            else if (r == "rrip") {
-                cfg.repl = ReplKind::Rrip;
-                cfg.randomSublevelVictim = true;
-            } else if (r == "random")
-                cfg.repl = ReplKind::Random;
-            else
+            if (!parseReplKind(r, cfg.repl))
                 fatal("unknown replacement '%s'", r.c_str());
+            // The paper's Section 7 variant pairs RRIP with the
+            // randomized sublevel victim.
+            if (cfg.repl == ReplKind::Rrip)
+                cfg.randomSublevelVictim = true;
         } else if (arg == "--rd-bits") {
             cfg.rdBinBits =
                 unsigned(std::strtoul(value().c_str(), nullptr, 0));
@@ -164,6 +147,7 @@ main(int argc, char **argv)
             cfg.eouIncludeInsertion = false;
         } else if (arg == "--seed") {
             cfg.seed = std::strtoull(value().c_str(), nullptr, 0);
+            seed_set = true;
         } else if (arg == "--stats") {
             stats_path = value();
         } else if (arg == "--stats-json") {
@@ -177,8 +161,25 @@ main(int argc, char **argv)
         }
     }
 
-    if (benchn.empty() && trace_path.empty())
-        fatal("need --bench or --trace (see --help)");
+    Scenario scenario;
+    if (!scenario_path.empty()) {
+        if (!benchn.empty() || !trace_path.empty())
+            fatal("--scenario is exclusive with --bench/--trace");
+        const std::string err =
+            loadScenarioFile(scenario_path, scenario);
+        if (!err.empty())
+            fatal("%s", err.c_str());
+        const std::uint64_t cli_seed = cfg.seed;
+        cfg = scenarioSystemConfig(scenario);
+        if (seed_set)
+            cfg.seed = cli_seed;
+        if (!refs_set && scenario.refs)
+            refs = scenario.refs;
+        if (!warmup_set)
+            warmup = scenario.refs ? scenario.warmup : ~0ull;
+    } else if (benchn.empty() && trace_path.empty()) {
+        fatal("need --bench, --trace, or --scenario (see --help)");
+    }
     if (warmup == ~0ull)
         warmup = refs;
 
@@ -193,11 +194,18 @@ main(int argc, char **argv)
     std::vector<std::unique_ptr<AccessSource>> owned;
     std::vector<AccessSource *> sources;
     for (unsigned c = 0; c < cfg.numCores; ++c) {
-        if (!trace_path.empty())
+        if (!trace_path.empty()) {
             owned.push_back(std::make_unique<FileTraceSource>(
                 trace_path, loop_trace));
-        else
+        } else if (!scenario_path.empty()) {
+            const std::string &name =
+                scenario.workloads.size() == 1 ? scenario.workloads[0]
+                                               : scenario.workloads[c];
+            owned.push_back(
+                makeMixSource(name, c, scenario.workloadSeed));
+        } else {
             owned.push_back(makeMixSource(benchn, c, cfg.seed));
+        }
         sources.push_back(owned.back().get());
     }
 
@@ -230,9 +238,13 @@ main(int argc, char **argv)
         sources[0] = tee.get();
     }
 
+    const std::string what = !scenario_path.empty()
+                                 ? "scenario " + scenario.name
+                                 : trace_path.empty() ? benchn
+                                                      : trace_path;
     inform("running %s / %s: %llu refs after %llu warm-up on %u "
            "core(s)",
-           trace_path.empty() ? benchn.c_str() : trace_path.c_str(),
+           what.c_str(),
            policyName(cfg.policy),
            static_cast<unsigned long long>(refs),
            static_cast<unsigned long long>(warmup), cfg.numCores);

@@ -6,6 +6,8 @@
 #ifndef SLIP_SIM_POLICY_KIND_HH
 #define SLIP_SIM_POLICY_KIND_HH
 
+#include <string>
+
 namespace slip {
 
 /** Which insertion/movement policy manages the L2 and L3. */
@@ -41,6 +43,51 @@ inline bool
 isSlipPolicy(PolicyKind kind)
 {
     return kind == PolicyKind::Slip || kind == PolicyKind::SlipAbp;
+}
+
+/**
+ * Canonical CLI/scenario/registry key ("baseline", "slip+abp", ...).
+ * Distinct from policyName(), the figure-label display form.
+ */
+inline const char *
+policyCliName(PolicyKind kind)
+{
+    switch (kind) {
+      case PolicyKind::Baseline:
+        return "baseline";
+      case PolicyKind::NuRapid:
+        return "nurapid";
+      case PolicyKind::LruPea:
+        return "lru-pea";
+      case PolicyKind::Slip:
+        return "slip";
+      case PolicyKind::SlipAbp:
+        return "slip+abp";
+    }
+    return "?";
+}
+
+/**
+ * Parse a policy key as written on a command line or in a scenario
+ * file. Accepts the canonical keys plus historical aliases
+ * ("lrupea", "slip-abp"). Returns false on unknown names.
+ */
+inline bool
+parsePolicyKind(const std::string &v, PolicyKind &out)
+{
+    if (v == "baseline")
+        out = PolicyKind::Baseline;
+    else if (v == "nurapid")
+        out = PolicyKind::NuRapid;
+    else if (v == "lru-pea" || v == "lrupea")
+        out = PolicyKind::LruPea;
+    else if (v == "slip")
+        out = PolicyKind::Slip;
+    else if (v == "slip+abp" || v == "slip-abp")
+        out = PolicyKind::SlipAbp;
+    else
+        return false;
+    return true;
 }
 
 } // namespace slip

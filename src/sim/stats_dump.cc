@@ -78,10 +78,15 @@ dumpStats(System &sys, std::ostream &os)
         os << core << ".tlb.accesses " << sys.tlb(c).accesses() << "\n";
         os << core << ".tlb.misses " << sys.tlb(c).misses() << "\n";
         os << core << ".tlb.flushes " << sys.tlb(c).flushes() << "\n";
-        dumpLevelStats(core + ".l1", sys.l1(c).stats(), os);
-        dumpLevelStats(core + ".l2", sys.l2(c).stats(), os);
+        for (unsigned i = 0; i < sys.numLevels(); ++i)
+            if (!sys.levelShared(i))
+                dumpLevelStats(core + "." + sys.levelName(i),
+                               sys.level(i, c).stats(), os);
     }
-    dumpLevelStats("l3", sys.l3().stats(), os);
+    for (unsigned i = 0; i < sys.numLevels(); ++i)
+        if (sys.levelShared(i))
+            dumpLevelStats(sys.levelName(i), sys.level(i, 0).stats(),
+                           os);
 
     os << "dram.reads " << sys.dram().reads() << "\n";
     os << "dram.writes " << sys.dram().writes() << "\n";
@@ -93,13 +98,15 @@ dumpStats(System &sys, std::ostream &os)
     os << "dram.energy_pj " << sys.dram().energyPj() << "\n";
 
     os << "eou.operations " << sys.eouOperations() << "\n";
-    if (sys.eouL2()) {
+    if (sys.numSlipSlots() > 0) {
+        // Interleaved per code across the SLIP-managed levels, the
+        // historical layout ("eou.l2.choice0", "eou.l3.choice0", ...).
         for (std::size_t code = 0;
-             code < sys.eouL2()->choiceCounts().size(); ++code) {
-            os << "eou.l2.choice" << code << " "
-               << sys.eouL2()->choiceCounts()[code] << "\n";
-            os << "eou.l3.choice" << code << " "
-               << sys.eouL3()->choiceCounts()[code] << "\n";
+             code < sys.eou(0)->choiceCounts().size(); ++code) {
+            for (unsigned s = 0; s < sys.numSlipSlots(); ++s)
+                os << "eou." << sys.levelName(sys.slipLevel(s))
+                   << ".choice" << code << " "
+                   << sys.eou(s)->choiceCounts()[code] << "\n";
         }
     }
     os << "pagetable.pages " << sys.pageTable().pagesTouched() << "\n";
@@ -177,11 +184,16 @@ statsToJson(System &sys)
         tlb["misses"] = sys.tlb(c).misses();
         tlb["flushes"] = sys.tlb(c).flushes();
         core["tlb"] = std::move(tlb);
-        core["l1"] = levelStatsJson(sys.l1(c).stats());
-        core["l2"] = levelStatsJson(sys.l2(c).stats());
+        for (unsigned i = 0; i < sys.numLevels(); ++i)
+            if (!sys.levelShared(i))
+                core[sys.levelName(i)] =
+                    levelStatsJson(sys.level(i, c).stats());
         cores.push(std::move(core));
     }
-    root["l3"] = levelStatsJson(sys.l3().stats());
+    for (unsigned i = 0; i < sys.numLevels(); ++i)
+        if (sys.levelShared(i))
+            root[sys.levelName(i)] =
+                levelStatsJson(sys.level(i, 0).stats());
 
     json::Value &dram = root["dram"];
     dram = json::Value::object();
@@ -197,16 +209,12 @@ statsToJson(System &sys)
     json::Value &eou = root["eou"];
     eou = json::Value::object();
     eou["operations"] = sys.eouOperations();
-    if (sys.eouL2()) {
-        json::Value &l2c = eou["l2_choices"];
-        l2c = json::Value::array();
-        json::Value &l3c = eou["l3_choices"];
-        l3c = json::Value::array();
-        for (std::size_t code = 0;
-             code < sys.eouL2()->choiceCounts().size(); ++code) {
-            l2c.push(sys.eouL2()->choiceCounts()[code]);
-            l3c.push(sys.eouL3()->choiceCounts()[code]);
-        }
+    for (unsigned s = 0; s < sys.numSlipSlots(); ++s) {
+        json::Value &counts =
+            eou[sys.levelName(sys.slipLevel(s)) + "_choices"];
+        counts = json::Value::array();
+        for (std::uint64_t n : sys.eou(s)->choiceCounts())
+            counts.push(n);
     }
 
     root["pagetable"]["pages"] = sys.pageTable().pagesTouched();

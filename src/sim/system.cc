@@ -2,11 +2,9 @@
 
 #include <algorithm>
 
-#include "nuca/lru_pea.hh"
-#include "nuca/nurapid.hh"
 #include "obs/trace.hh"
 #include "perf/perf_counters.hh"
-#include "slip/slip_controller.hh"
+#include "sim/policy_registry.hh"
 #include "util/logging.hh"
 
 namespace slip {
@@ -14,20 +12,6 @@ namespace slip {
 SystemConfig::SystemConfig() : tech(tech45nm()) {}
 
 namespace {
-
-/** Uniform energy/latency parameter block for the L1. */
-LevelEnergyParams
-l1Params(const SystemConfig &cfg)
-{
-    LevelEnergyParams p;
-    p.baselineAccessPj = cfg.tech.l1AccessPj;
-    p.baselineLatency = cfg.l1Latency;
-    p.sublevelAccessPj = {cfg.tech.l1AccessPj, cfg.tech.l1AccessPj,
-                          cfg.tech.l1AccessPj};
-    p.sublevelLatency = {cfg.l1Latency, cfg.l1Latency, cfg.l1Latency};
-    p.metadataPj = 0.0;
-    return p;
-}
 
 /** Default SLIP codes for unseen pages. */
 PolicyPair
@@ -42,7 +26,7 @@ defaultPolicies()
 } // namespace
 
 System::System(const SystemConfig &cfg)
-    : _cfg(cfg), _isSlip(isSlipPolicy(cfg.policy)),
+    : _cfg(cfg),
       _samplingAlways(cfg.samplingMode == SamplingMode::Always),
       _l1RefPj(cfg.l1HitsPerMiss * cfg.tech.l1AccessPj),
       _rdBlockPages(cfg.rdBlockPages), _dram(cfg.tech),
@@ -53,108 +37,111 @@ System::System(const SystemConfig &cfg)
 {
     slip_assert(cfg.numCores >= 1, "at least one core required");
 
-    // Shared L3.
-    CacheLevelConfig l3cfg;
-    l3cfg.name = "L3";
-    l3cfg.sizeBytes = cfg.l3Size;
-    l3cfg.ways = cfg.l3Ways;
-    l3cfg.topology = cfg.topology;
-    l3cfg.energy = cfg.tech.l3;
-    l3cfg.repl = cfg.repl;
-    l3cfg.movementQueueEnabled = cfg.policy != PolicyKind::Baseline;
-    l3cfg.slipMetadataEnabled = isSlipPolicy(cfg.policy);
-    l3cfg.movementQueuePj = cfg.tech.movementQueuePj;
-    l3cfg.seed = cfg.seed * 31 + 7;
-    _l3 = std::make_unique<CacheLevel>(l3cfg);
-    _l3ctrl = makeController(*_l3, kSlipL3);
+    HierarchyDefaults defs;
+    defs.policy = policyCliName(cfg.policy);
+    defs.topology = cfg.topology;
+    defs.repl = cfg.repl;
+    defs.randomVictim = cfg.randomSublevelVictim;
+    defs.inclusiveLast = cfg.inclusiveL3;
+    defs.tech = &cfg.tech;
+    std::string err;
+    std::vector<ResolvedLevel> resolved =
+        resolveHierarchy(cfg.hierarchy, defs, &err);
+    if (resolved.empty())
+        fatal("invalid hierarchy: %s", err.c_str());
+    _l1Latency = resolved[0].energy.baselineLatency;
 
-    // Per-core private L1 + L2.
-    for (unsigned c = 0; c < cfg.numCores; ++c) {
-        auto core = std::make_unique<Core>(cfg.tlbEntries);
+    // Build every level from the same path: one CacheLevel per unit
+    // plus a registry-resolved controller. SLIP-managed levels claim
+    // reuse-distance slots in order.
+    for (std::size_t i = 0; i < resolved.size(); ++i) {
+        const ResolvedLevel &spec = resolved[i];
+        const LevelPolicyInfo *pol = findLevelPolicy(spec.policy);
+        if (!pol)
+            fatal("level %zu ('%s'): unknown policy '%s'", i,
+                  spec.name.c_str(), spec.policy.c_str());
 
-        CacheLevelConfig l1cfg;
-        l1cfg.name = "L1." + std::to_string(c);
-        l1cfg.sizeBytes = cfg.l1Size;
-        l1cfg.ways = cfg.l1Ways;
-        l1cfg.topology = TopologyKind::HierBusSetInterleaved;
-        l1cfg.energy = l1Params(cfg);
-        l1cfg.sublevelWays = {2, 2, 4};
-        l1cfg.waysPerRow = 2;
-        l1cfg.repl = ReplKind::Lru;
-        l1cfg.movementQueueEnabled = false;
-        l1cfg.slipMetadataEnabled = false;
-        l1cfg.seed = cfg.seed * 101 + c;
-        core->l1 = std::make_unique<CacheLevel>(l1cfg);
-        core->l1ctrl =
-            std::make_unique<BaselineController>(*core->l1, kSlipL2);
+        Level lvl;
+        lvl.spec = spec;
+        lvl.abp = pol->abp;
+        // Non-SLIP controllers receive the would-be slot of their
+        // level so their derived RNG streams match the classic
+        // layout (level 1 -> 0, deeper levels -> 1).
+        unsigned ctrl_slot =
+            i == 0 ? 0
+                   : std::min<unsigned>(static_cast<unsigned>(i) - 1,
+                                        kMaxSlipLevels - 1);
+        if (pol->slip) {
+            slip_assert(i > 0, "level 0 cannot be SLIP-managed");
+            if (_slipLevels.size() >= kMaxSlipLevels)
+                fatal("level %zu ('%s'): more than %u SLIP-managed "
+                      "levels (line/page metadata holds %u RD slots)",
+                      i, spec.name.c_str(), kMaxSlipLevels,
+                      kMaxSlipLevels);
+            lvl.slot = static_cast<int>(_slipLevels.size());
+            ctrl_slot = static_cast<unsigned>(lvl.slot);
+            _slipLevels.push_back(static_cast<unsigned>(i));
+            _isSlip = true;
+        }
 
-        CacheLevelConfig l2cfg;
-        l2cfg.name = "L2." + std::to_string(c);
-        l2cfg.sizeBytes = cfg.l2Size;
-        l2cfg.ways = cfg.l2Ways;
-        l2cfg.topology = cfg.topology;
-        l2cfg.energy = cfg.tech.l2;
-        l2cfg.repl = cfg.repl;
-        l2cfg.movementQueueEnabled = cfg.policy != PolicyKind::Baseline;
-        l2cfg.slipMetadataEnabled = isSlipPolicy(cfg.policy);
-        l2cfg.movementQueuePj = cfg.tech.movementQueuePj;
-        l2cfg.seed = cfg.seed * 151 + c;
-        core->l2 = std::make_unique<CacheLevel>(l2cfg);
-        core->l2ctrl = makeController(*core->l2, kSlipL2);
+        LevelPolicyArgs args;
+        args.randomSublevelVictim = spec.randomVictim;
+        args.systemSeed = cfg.seed;
 
-        _cores.push_back(std::move(core));
+        const unsigned nunits = spec.shared ? 1 : cfg.numCores;
+        for (unsigned u = 0; u < nunits; ++u) {
+            CacheLevelConfig c;
+            c.name = spec.shared ? spec.name
+                                 : spec.name + "." + std::to_string(u);
+            c.sizeBytes = spec.sizeBytes;
+            c.ways = spec.ways;
+            c.topology = spec.topology;
+            c.energy = spec.energy;
+            c.sublevelWays = spec.sublevelWays;
+            c.waysPerRow = spec.waysPerRow;
+            c.repl = spec.repl;
+            c.movementQueueEnabled = pol->movementQueue;
+            c.slipMetadataEnabled = pol->slip;
+            c.movementQueuePj = cfg.tech.movementQueuePj;
+            c.seed = cfg.seed * spec.seedMul + spec.seedAdd +
+                     (spec.shared ? 0 : u);
+            lvl.units.push_back(std::make_unique<CacheLevel>(c));
+            lvl.ctrls.push_back(
+                pol->make(*lvl.units.back(), ctrl_slot, args));
+        }
+        _levels.push_back(std::move(lvl));
     }
 
-    // EOUs: the L2 unit sees the L3's mean energy as the miss cost,
-    // the L3 unit sees the DRAM line energy (Equation 4).
-    if (isSlipPolicy(cfg.policy)) {
-        const bool abp = cfg.policy == PolicyKind::SlipAbp;
+    for (unsigned c = 0; c < cfg.numCores; ++c)
+        _cores.push_back(std::make_unique<Core>(cfg.tlbEntries));
 
-        SlipEnergyModelParams l2m;
-        const CacheTopology &l2topo = _cores[0]->l2->topology();
+    // EOUs: each SLIP-managed level's unit sees the next level's mean
+    // access energy as the miss cost; the outermost sees the DRAM
+    // line energy (Equation 4).
+    for (unsigned slot = 0; slot < _slipLevels.size(); ++slot) {
+        const unsigned li = _slipLevels[slot];
+        Level &lvl = _levels[li];
+        SlipEnergyModelParams m;
+        const CacheTopology &topo = lvl.units[0]->topology();
         for (unsigned sl = 0; sl < kNumSublevels; ++sl) {
-            l2m.sublevelEnergy[sl] = l2topo.sublevelEnergy(sl);
-            l2m.sublevelWays[sl] = l2topo.sublevelWays(sl);
+            m.sublevelEnergy[sl] = topo.sublevelEnergy(sl);
+            m.sublevelWays[sl] = topo.sublevelWays(sl);
         }
-        l2m.nextLevelEnergy = _l3->topology().meanAccessEnergy();
-        l2m.includeInsertion = cfg.eouIncludeInsertion;
-        _eouL2 = std::make_unique<Eou>(SlipEnergyModel(l2m), abp);
-
-        SlipEnergyModelParams l3m;
-        const CacheTopology &l3topo = _l3->topology();
-        for (unsigned sl = 0; sl < kNumSublevels; ++sl) {
-            l3m.sublevelEnergy[sl] = l3topo.sublevelEnergy(sl);
-            l3m.sublevelWays[sl] = l3topo.sublevelWays(sl);
-        }
-        l3m.nextLevelEnergy = _dram.lineEnergy();
-        l3m.includeInsertion = cfg.eouIncludeInsertion;
-        // An inclusive LLC must never fully bypass (Section 4.3).
-        _eouL3 = std::make_unique<Eou>(SlipEnergyModel(l3m),
-                                       abp && !cfg.inclusiveL3);
+        m.nextLevelEnergy =
+            li + 1 < _levels.size()
+                ? _levels[li + 1].units[0]->topology().meanAccessEnergy()
+                : _dram.lineEnergy();
+        m.includeInsertion = cfg.eouIncludeInsertion;
+        // An inclusive level must never fully bypass (Section 4.3).
+        _eous.push_back(std::make_unique<Eou>(
+            SlipEnergyModel(m), lvl.abp && !lvl.spec.inclusive));
     }
+
+    _epochLvlBase.assign(_levels.size() - 1, obs::EnergyLedger{});
+    _epochLvlHitsBase.assign(_levels.size() - 1, 0);
 }
 
 System::~System() = default;
-
-std::unique_ptr<LevelController>
-System::makeController(CacheLevel &level, unsigned level_idx)
-{
-    switch (_cfg.policy) {
-      case PolicyKind::Baseline:
-        return std::make_unique<BaselineController>(level, level_idx);
-      case PolicyKind::NuRapid:
-        return std::make_unique<NuRapidController>(level, level_idx);
-      case PolicyKind::LruPea:
-        return std::make_unique<LruPeaController>(level, level_idx,
-                                                  _cfg.seed * 17 + 3);
-      case PolicyKind::Slip:
-      case PolicyKind::SlipAbp:
-        return std::make_unique<SlipController>(
-            level, level_idx, _cfg.randomSublevelVictim,
-            _cfg.seed * 13 + level_idx);
-    }
-    panic("unknown policy kind");
-}
 
 PageCtx
 System::pageCtx(Addr page)
@@ -178,20 +165,21 @@ System::pageCtx(Addr page)
 }
 
 void
-System::recordRd(const PageCtx &ctx, unsigned level_idx, int bin)
+System::recordRd(const PageCtx &ctx, int slot, int bin)
 {
     perf::ScopedPhase profile_scope(perf::Phase::RdProfile);
-    if (!ctx.collectRd || !_isSlip || bin < 0)
+    if (slot < 0 || !ctx.collectRd || !_isSlip || bin < 0)
         return;
     // Only sampling pages reach here, so this is off the hot path.
     static obs::Counter &records_ctr = obs::counter("rd.records");
     records_ctr.add();
-    _metadata.page(rdBlock(ctx.page)).dist[level_idx].record(
-        static_cast<unsigned>(bin));
+    _metadata.page(rdBlock(ctx.page))
+        .dist[slot]
+        .record(static_cast<unsigned>(bin));
 }
 
 Cycles
-System::handleTlbMiss(Core &core, Addr page)
+System::handleTlbMiss(unsigned core_id, Core &core, Addr page)
 {
     Cycles lat = 0;
     const Addr block = rdBlock(page);
@@ -200,7 +188,7 @@ System::handleTlbMiss(Core &core, Addr page)
     // Page walk: the PTE line is fetched through the hierarchy. This
     // exists in every configuration, so it is demand traffic.
     if (_cfg.modelPageWalks)
-        lat += metadataAccess(core, _pageTable.pteLine(page), false,
+        lat += metadataAccess(core_id, _pageTable.pteLine(page), false,
                               AccessClass::Demand);
 
     if (_isSlip) {
@@ -209,20 +197,18 @@ System::handleTlbMiss(Core &core, Addr page)
             // Pre-sampling design: fetch the distribution and rerun
             // the EOU on every TLB miss (Section 4.1's traffic
             // problem, the tbl_sampling_traffic ablation).
-            lat += metadataAccess(core, mline, false,
+            lat += metadataAccess(core_id, mline, false,
                                   AccessClass::Metadata);
             const PageMetadata &md = _metadata.page(block);
-            PolicyPair fresh;
+            PolicyPair fresh = pte.policies;
             {
                 perf::ScopedPhase eou_scope(perf::Phase::Eou);
-                fresh.code[kSlipL2] =
-                    _eouL2->optimize(md.dist[kSlipL2].bins());
-                fresh.code[kSlipL3] =
-                    _eouL3->optimize(md.dist[kSlipL3].bins());
+                for (unsigned s = 0; s < _slipLevels.size(); ++s)
+                    fresh.code[s] = _eous[s]->optimize(md.dist[s].bins());
             }
             if (obs::traceEnabled())
                 obs::emit(obs::EventKind::EouDecision, block,
-                          fresh.code[kSlipL2], fresh.code[kSlipL3]);
+                          fresh.code[0], fresh.code[1]);
             if (!(fresh == pte.policies)) {
                 pte.policies = fresh;
                 pte.dirty = true;
@@ -231,11 +217,10 @@ System::handleTlbMiss(Core &core, Addr page)
                     obs::emit(obs::EventKind::TlbUpdate, block, 1,
                               pte.updates);
             }
-            core.l2->chargeEnergy(EnergyCat::Other,
-                                  obs::EnergyCause::EouOp,
-                                  _cfg.tech.eouOpPj);
-            _l3->chargeEnergy(EnergyCat::Other, obs::EnergyCause::EouOp,
-                              _cfg.tech.eouOpPj);
+            for (unsigned li : _slipLevels)
+                _levels[li].unit(core_id).chargeEnergy(
+                    EnergyCat::Other, obs::EnergyCause::EouOp,
+                    _cfg.tech.eouOpPj);
             lat += 1;  // TLB blocked for the policy update
             pte.sampling = true;
         } else {
@@ -244,33 +229,31 @@ System::handleTlbMiss(Core &core, Addr page)
             if (was_sampling) {
                 // Distribution metadata is only fetched for sampling
                 // pages (Section 4.2).
-                lat += metadataAccess(core, mline, false,
+                lat += metadataAccess(core_id, mline, false,
                                       AccessClass::Metadata);
             }
             if (was_sampling && !now_sampling) {
                 // Transition to stable: recompute the page's SLIPs.
                 const PageMetadata &md = _metadata.page(block);
-                PolicyPair fresh;
+                PolicyPair fresh = pte.policies;
                 {
                     perf::ScopedPhase eou_scope(perf::Phase::Eou);
-                    fresh.code[kSlipL2] =
-                        _eouL2->optimize(md.dist[kSlipL2].bins());
-                    fresh.code[kSlipL3] =
-                        _eouL3->optimize(md.dist[kSlipL3].bins());
+                    for (unsigned s = 0; s < _slipLevels.size(); ++s)
+                        fresh.code[s] =
+                            _eous[s]->optimize(md.dist[s].bins());
                 }
                 if (obs::traceEnabled())
                     obs::emit(obs::EventKind::EouDecision, block,
-                              fresh.code[kSlipL2], fresh.code[kSlipL3]);
+                              fresh.code[0], fresh.code[1]);
                 if (!(fresh == pte.policies)) {
                     pte.policies = fresh;
                     pte.dirty = true;
                 }
                 ++pte.updates;
-                core.l2->chargeEnergy(EnergyCat::Other,
-                                      obs::EnergyCause::EouOp,
-                                      _cfg.tech.eouOpPj);
-                _l3->chargeEnergy(EnergyCat::Other, obs::EnergyCause::EouOp,
-                                  _cfg.tech.eouOpPj);
+                for (unsigned li : _slipLevels)
+                    _levels[li].unit(core_id).chargeEnergy(
+                        EnergyCat::Other, obs::EnergyCause::EouOp,
+                        _cfg.tech.eouOpPj);
                 lat += 1;  // TLB blocked for the policy update
             }
             if (was_sampling != now_sampling && obs::traceEnabled())
@@ -286,12 +269,12 @@ System::handleTlbMiss(Core &core, Addr page)
         if (_isSlip && epte.sampling && !_samplingAlways) {
             // Write the evicted page's distribution back (off the
             // critical path of the missing access).
-            metadataAccess(core,
+            metadataAccess(core_id,
                            _metadata.metadataLine(rdBlock(evicted)),
                            true, AccessClass::Metadata);
         }
         if (epte.dirty && _cfg.modelPageWalks) {
-            metadataAccess(core, _pageTable.pteLine(evicted), true,
+            metadataAccess(core_id, _pageTable.pteLine(evicted), true,
                            AccessClass::Demand);
             epte.dirty = false;
         }
@@ -300,25 +283,32 @@ System::handleTlbMiss(Core &core, Addr page)
 }
 
 Cycles
-System::metadataAccess(Core &core, Addr line, bool is_write,
+System::metadataAccess(unsigned core_id, Addr line, bool is_write,
                        AccessClass cls)
 {
     PageCtx ctx;
     ctx.policies = defaultPolicies();
     ctx.useDefault = true;  // metadata lines always use the Default SLIP
 
-    if (!is_write) {
-        // Allocating read path: L2 -> L3 -> DRAM with fills on return.
-        AccessResult r2 = core.l2ctrl->access(line, false, ctx, cls);
-        if (r2.hit)
-            return r2.latency;
+    const unsigned nlevels = static_cast<unsigned>(_levels.size());
 
-        Cycles lat = core.l2->topology().baselineLatency();
-        AccessResult r3 = _l3ctrl->access(line, false, ctx, cls);
-        if (r3.hit) {
-            lat += r3.latency;
-        } else {
-            lat += _l3->topology().baselineLatency();
+    if (!is_write) {
+        // Allocating read path: outer levels -> DRAM with fills on
+        // the way back.
+        Cycles lat = 0;
+        unsigned hit_at = nlevels;  // sentinel: missed everywhere
+        for (unsigned i = 1; i < nlevels; ++i) {
+            Level &lvl = _levels[i];
+            AccessResult r =
+                lvl.ctrl(core_id).access(line, false, ctx, cls);
+            if (r.hit) {
+                lat += r.latency;
+                hit_at = i;
+                break;
+            }
+            lat += lvl.unit(core_id).topology().baselineLatency();
+        }
+        if (hit_at == nlevels) {
             // Distribution-metadata line fetches count as metadata
             // traffic at the DRAM; PTE walks are ordinary demand.
             if (cls == AccessClass::Metadata)
@@ -326,22 +316,26 @@ System::metadataAccess(Core &core, Addr line, bool is_write,
             else
                 _dram.access(false);
             lat += _dram.latency();
-            _l3ctrl->fill(line, false, ctx, _evsL3);
-            drainL3Evictions(_evsL3);
         }
-        core.l2ctrl->fill(line, false, ctx, _evsL2);
-        drainL2Evictions(core, _evsL2);
+        const int deepest_missed =
+            hit_at == nlevels ? static_cast<int>(nlevels) - 1
+                              : static_cast<int>(hit_at) - 1;
+        for (int i = deepest_missed; i >= 1; --i) {
+            Level &lvl = _levels[i];
+            lvl.ctrl(core_id).fill(line, false, ctx, lvl.evs);
+            drainEvictions(static_cast<unsigned>(i), core_id);
+        }
         return lat;
     }
 
     // Non-allocating write-through: update in place where cached,
     // otherwise send the small record straight to DRAM.
-    const LookupResult lr2 = core.l2->lookup(line, cls);
-    if (lr2.hit)
-        return core.l2->recordWriteback(lr2.setIndex, lr2.way);
-    const LookupResult lr3 = _l3->lookup(line, cls);
-    if (lr3.hit)
-        return _l3->recordWriteback(lr3.setIndex, lr3.way);
+    for (unsigned i = 1; i < nlevels; ++i) {
+        CacheLevel &unit = _levels[i].unit(core_id);
+        const LookupResult lr = unit.lookup(line, cls);
+        if (lr.hit)
+            return unit.recordWriteback(lr.setIndex, lr.way);
+    }
     if (cls == AccessClass::Metadata)
         _dram.metadataAccess(_metadata.recordBits());
     else
@@ -350,95 +344,94 @@ System::metadataAccess(Core &core, Addr line, bool is_write,
 }
 
 Cycles
-System::demandFetch(Core &core, Addr line, const PageCtx &ctx)
+System::demandFetch(unsigned core_id, Addr line, const PageCtx &ctx)
 {
-    AccessResult r2 =
-        core.l2ctrl->access(line, false, ctx, AccessClass::Demand);
-    if (r2.hit) {
-        recordRd(ctx, kSlipL2, r2.rdBin);
-        return r2.latency;
+    const unsigned nlevels = static_cast<unsigned>(_levels.size());
+    Cycles lat = 0;
+    unsigned hit_at = nlevels;
+    for (unsigned i = 1; i < nlevels; ++i) {
+        Level &lvl = _levels[i];
+        AccessResult r =
+            lvl.ctrl(core_id).access(line, false, ctx,
+                                     AccessClass::Demand);
+        if (r.hit) {
+            recordRd(ctx, lvl.slot, r.rdBin);
+            lat += r.latency;
+            hit_at = i;
+            break;
+        }
+        recordRd(ctx, lvl.slot, static_cast<int>(kNumSublevels));
+        lat += lvl.unit(core_id).topology().baselineLatency();
     }
-    recordRd(ctx, kSlipL2, static_cast<int>(kNumSublevels));
-
-    Cycles lat = core.l2->topology().baselineLatency();
-    AccessResult r3 = _l3ctrl->access(line, false, ctx,
-                                      AccessClass::Demand);
-    if (r3.hit) {
-        recordRd(ctx, kSlipL3, r3.rdBin);
-        lat += r3.latency;
-    } else {
-        recordRd(ctx, kSlipL3, static_cast<int>(kNumSublevels));
-        lat += _l3->topology().baselineLatency();
+    if (hit_at == nlevels)
         lat += _dram.access(false);
-        _l3ctrl->fill(line, false, ctx, _evsL3);
-        drainL3Evictions(_evsL3);
-    }
 
-    core.l2ctrl->fill(line, false, ctx, _evsL2);
-    drainL2Evictions(core, _evsL2);
+    const int deepest_missed = hit_at == nlevels
+                                   ? static_cast<int>(nlevels) - 1
+                                   : static_cast<int>(hit_at) - 1;
+    for (int i = deepest_missed; i >= 1; --i) {
+        Level &lvl = _levels[i];
+        lvl.ctrl(core_id).fill(line, false, ctx, lvl.evs);
+        drainEvictions(static_cast<unsigned>(i), core_id);
+    }
     return lat;
 }
 
 void
-System::writebackToL2(Core &core, Addr line)
+System::writebackToLevel(unsigned i, unsigned core_id, Addr line)
 {
     PageCtx ctx = pageCtx(pageOfLine(line));
     ctx.collectRd = false;  // writebacks are not demand reuse
 
-    const LookupResult lr = core.l2->lookup(line, AccessClass::Demand);
+    Level &lvl = _levels[i];
+    CacheLevel &unit = lvl.unit(core_id);
+    const LookupResult lr = unit.lookup(line, AccessClass::Demand);
     if (lr.hit) {
-        core.l2->recordWriteback(lr.setIndex, lr.way);
+        unit.recordWriteback(lr.setIndex, lr.way);
         return;
     }
-    core.l2ctrl->fill(line, true, ctx, _evsL2);
-    drainL2Evictions(core, _evsL2);
+    lvl.ctrl(core_id).fill(line, true, ctx, lvl.evs);
+    drainEvictions(i, core_id);
 }
 
 void
-System::writebackToL3(Core &core, Addr line, PolicyPair policies)
+System::drainEvictions(unsigned i, unsigned core_id)
 {
-    (void)core;
-    (void)policies;  // the fill consults the page's current policy
-    PageCtx ctx = pageCtx(pageOfLine(line));
-    ctx.collectRd = false;
-
-    const LookupResult lr = _l3->lookup(line, AccessClass::Demand);
-    if (lr.hit) {
-        _l3->recordWriteback(lr.setIndex, lr.way);
-        return;
-    }
-    _l3ctrl->fill(line, true, ctx, _evsL3);
-    drainL3Evictions(_evsL3);
-}
-
-void
-System::drainL2Evictions(Core &core, std::vector<Eviction> &evs)
-{
-    for (const Eviction &ev : evs)
-        if (ev.dirty)
-            writebackToL3(core, ev.lineAddr, ev.policies);
-    evs.clear();
-}
-
-void
-System::drainL3Evictions(std::vector<Eviction> &evs)
-{
-    for (const Eviction &ev : evs) {
+    Level &lvl = _levels[i];
+    const bool last = i + 1 == _levels.size();
+    for (const Eviction &ev : lvl.evs) {
         bool dirty = ev.dirty;
-        if (_cfg.inclusiveL3) {
+        if (lvl.spec.inclusive) {
             // Back-invalidate upper-level copies; a dirty copy there
-            // must reach memory since the LLC entry is gone.
-            for (auto &core : _cores) {
-                bool d1 = false, d2 = false;
-                core->l1->invalidate(ev.lineAddr, &d1);
-                core->l2->invalidate(ev.lineAddr, &d2);
-                dirty = dirty || d1 || d2;
+            // must reach the next level since this entry is gone.
+            for (unsigned j = 0; j < i; ++j) {
+                Level &upper = _levels[j];
+                if (upper.spec.shared) {
+                    bool d = false;
+                    upper.units[0]->invalidate(ev.lineAddr, &d);
+                    dirty = dirty || d;
+                } else if (lvl.spec.shared) {
+                    // Shared level evicting: any core may hold it.
+                    for (auto &unit : upper.units) {
+                        bool d = false;
+                        unit->invalidate(ev.lineAddr, &d);
+                        dirty = dirty || d;
+                    }
+                } else {
+                    bool d = false;
+                    upper.units[core_id]->invalidate(ev.lineAddr, &d);
+                    dirty = dirty || d;
+                }
             }
         }
-        if (dirty)
-            _dram.access(true);
+        if (dirty) {
+            if (last)
+                _dram.access(true);
+            else
+                writebackToLevel(i + 1, core_id, ev.lineAddr);
+        }
     }
-    evs.clear();
+    lvl.evs.clear();
 }
 
 void
@@ -447,6 +440,9 @@ System::access(unsigned core_id, const MemAccess &acc)
     slip_assert(core_id < _cores.size(), "core %u out of range",
                 core_id);
     Core &core = *_cores[core_id];
+    Level &l0 = _levels[0];
+    CacheLevel &l1 = *l0.units[core_id];
+    LevelController &l1ctrl = *l0.ctrls[core_id];
     ++_accessTick;
 
     if (_cfg.contextSwitchInterval &&
@@ -461,35 +457,31 @@ System::access(unsigned core_id, const MemAccess &acc)
     Cycles lat = 0;
     if (!core.tlb.lookup(page)) {
         perf::ScopedPhase tlb_scope(perf::Phase::Tlb);
-        lat += handleTlbMiss(core, page);
+        lat += handleTlbMiss(core_id, core, page);
     }
 
     const PageCtx ctx = pageCtx(page);
 
     // The L1-hit traffic each simulated reference stands for (the
     // generators emit the post-L1 stream; see SystemConfig).
-    core.l1->chargeEnergy(EnergyCat::Access, obs::EnergyCause::DemandHit,
-                          _l1RefPj);
+    l1.chargeEnergy(EnergyCat::Access, obs::EnergyCause::DemandHit,
+                    _l1RefPj);
 
     perf::ScopedPhase walk_scope(perf::Phase::CacheWalk);
-    PageCtx l1ctx;  // the L1 is SLIP-agnostic
-    AccessResult r1 = core.l1ctrl->access(line, acc.isWrite(), l1ctx,
-                                          AccessClass::Demand);
-    lat += _cfg.l1Latency;
+    PageCtx l1ctx;  // the innermost level is SLIP-agnostic
+    AccessResult r1 =
+        l1ctrl.access(line, acc.isWrite(), l1ctx, AccessClass::Demand);
+    lat += _l1Latency;
     if (r1.hit) {
         ++core.stats.l1Hits;
     } else {
-        lat += demandFetch(core, line, ctx);
-        core.l1ctrl->fill(line, acc.isWrite(), ctx, _evsL1);
-        for (const Eviction &ev : _evsL1)
-            if (ev.dirty)
-                writebackToL2(core, ev.lineAddr);
-        _evsL1.clear();
+        lat += demandFetch(core_id, line, ctx);
+        l1ctrl.fill(line, acc.isWrite(), ctx, l0.evs);
+        drainEvictions(0, core_id);
     }
 
     ++core.stats.accesses;
-    core.stats.memStallCycles +=
-        static_cast<double>(lat - _cfg.l1Latency);
+    core.stats.memStallCycles += static_cast<double>(lat - _l1Latency);
 
     if (_cfg.epochIntervalRefs != 0 &&
         ++_epochAccesses >= _cfg.epochIntervalRefs)
@@ -497,11 +489,11 @@ System::access(unsigned core_id, const MemAccess &acc)
 }
 
 obs::EnergyLedger
-System::l2Ledger() const
+System::levelLedger(unsigned i) const
 {
     obs::EnergyLedger sum{};
-    for (const auto &core : _cores)
-        obs::ledgerMerge(sum, core->l2->stats().causePj);
+    for (const auto &unit : _levels[i].units)
+        obs::ledgerMerge(sum, unit->stats().causePj);
     return sum;
 }
 
@@ -514,37 +506,39 @@ System::rollEpoch()
     rec.accesses = _epochAccesses;
     _epochAccesses = 0;
 
-    const obs::EnergyLedger l2 = l2Ledger();
-    const obs::EnergyLedger &l3 = _l3->stats().causePj;
-    std::uint64_t l2_hits = 0;
-    for (const auto &core : _cores)
-        l2_hits += core->l2->stats().demandHits;
-    const std::uint64_t l3_hits = _l3->stats().demandHits;
     const double l1_pj = l1EnergyPj();
     const double dram_pj = _dram.energyPj();
     const std::uint64_t eou_ops = eouOperations();
 
-    for (std::size_t i = 0; i < obs::kNumEnergyCauses; ++i) {
-        rec.l2Pj[i] = l2[i] - _epochL2Base[i];
-        rec.l3Pj[i] = l3[i] - _epochL3Base[i];
+    std::uint64_t hits_delta_sum = 0;
+    for (unsigned i = 1; i < numLevels(); ++i) {
+        const obs::EnergyLedger ledger = levelLedger(i);
+        std::uint64_t hits = 0;
+        for (const auto &unit : _levels[i].units)
+            hits += unit->stats().demandHits;
+
+        obs::LevelEpoch le;
+        le.name = _levels[i].spec.name;
+        for (std::size_t c = 0; c < obs::kNumEnergyCauses; ++c)
+            le.pj[c] = ledger[c] - _epochLvlBase[i - 1][c];
+        le.demandHits = hits - _epochLvlHitsBase[i - 1];
+        hits_delta_sum += le.demandHits;
+        rec.levels.push_back(std::move(le));
+
+        _epochLvlBase[i - 1] = ledger;
+        _epochLvlHitsBase[i - 1] = hits;
     }
-    rec.l2DemandHits = l2_hits - _epochL2HitsBase;
-    rec.l3DemandHits = l3_hits - _epochL3HitsBase;
     rec.eouOps = eou_ops - _epochEouBase;
     rec.l1Pj = l1_pj - _epochL1Base;
     rec.dramPj = dram_pj - _epochDramBase;
 
-    _epochL2Base = l2;
-    _epochL3Base = l3;
-    _epochL2HitsBase = l2_hits;
-    _epochL3HitsBase = l3_hits;
     _epochEouBase = eou_ops;
     _epochL1Base = l1_pj;
     _epochDramBase = dram_pj;
 
     if (obs::traceEnabled())
         obs::emit(obs::EventKind::EpochRollover, rec.index, rec.accesses,
-                  rec.l2DemandHits + rec.l3DemandHits);
+                  hits_delta_sum);
     if (_epochSink)
         _epochSink->records.push_back(rec);
 }
@@ -604,30 +598,30 @@ System::runWindow(const std::vector<AccessSource *> &sources,
 }
 
 CacheLevelStats
-System::combinedL2Stats() const
+System::combinedLevelStats(unsigned i) const
 {
     CacheLevelStats sum;
-    for (const auto &core : _cores) {
-        const CacheLevelStats &s = core->l2->stats();
+    for (const auto &unit : _levels[i].units) {
+        const CacheLevelStats &s = unit->stats();
         sum.demandAccesses += s.demandAccesses;
         sum.demandHits += s.demandHits;
         sum.metadataAccesses += s.metadataAccesses;
         sum.metadataHits += s.metadataHits;
-        for (unsigned i = 0; i < kNumSublevels; ++i) {
-            sum.sublevelHits[i] += s.sublevelHits[i];
-            sum.sublevelInsertions[i] += s.sublevelInsertions[i];
+        for (unsigned sl = 0; sl < kNumSublevels; ++sl) {
+            sum.sublevelHits[sl] += s.sublevelHits[sl];
+            sum.sublevelInsertions[sl] += s.sublevelInsertions[sl];
         }
         sum.insertions += s.insertions;
         sum.bypasses += s.bypasses;
-        for (unsigned i = 0; i < sum.insertClass.size(); ++i)
-            sum.insertClass[i] += s.insertClass[i];
+        for (unsigned k = 0; k < sum.insertClass.size(); ++k)
+            sum.insertClass[k] += s.insertClass[k];
         sum.movements += s.movements;
         sum.writebacks += s.writebacks;
         sum.invalidations += s.invalidations;
-        for (unsigned i = 0; i < 4; ++i)
-            sum.reuseHistogram[i] += s.reuseHistogram[i];
-        for (unsigned i = 0; i < sum.energyPj.size(); ++i)
-            sum.energyPj[i] += s.energyPj[i];
+        for (unsigned k = 0; k < 4; ++k)
+            sum.reuseHistogram[k] += s.reuseHistogram[k];
+        for (unsigned k = 0; k < sum.energyPj.size(); ++k)
+            sum.energyPj[k] += s.energyPj[k];
         obs::ledgerMerge(sum.causePj, s.causePj);
         sum.portBusyCycles += s.portBusyCycles;
     }
@@ -635,28 +629,21 @@ System::combinedL2Stats() const
 }
 
 double
-System::l1EnergyPj() const
+System::levelEnergyPj(unsigned i) const
 {
     double e = 0.0;
-    for (const auto &core : _cores)
-        e += core->l1->stats().totalEnergyPj();
-    return e;
-}
-
-double
-System::l2EnergyPj() const
-{
-    double e = 0.0;
-    for (const auto &core : _cores)
-        e += core->l2->stats().totalEnergyPj();
+    for (const auto &unit : _levels[i].units)
+        e += unit->stats().totalEnergyPj();
     return e;
 }
 
 double
 System::fullSystemEnergyPj() const
 {
-    return instructions() * _cfg.tech.corePjPerInstr + l1EnergyPj() +
-           l2EnergyPj() + l3EnergyPj() + _dram.energyPj();
+    double e = instructions() * _cfg.tech.corePjPerInstr;
+    for (unsigned i = 0; i < numLevels(); ++i)
+        e += levelEnergyPj(i);
+    return e + _dram.energyPj();
 }
 
 double
@@ -676,11 +663,13 @@ System::coreCycles(unsigned core_id) const
         static_cast<double>(core.stats.accesses) * _cfg.instrPerAccess;
     const double base = instr / _cfg.issueWidth;
     const double stalls = _cfg.stallFactor * core.stats.memStallCycles;
-    const double contention =
-        _cfg.portContentionFactor *
-        (static_cast<double>(core.l2->stats().portBusyCycles) +
-         static_cast<double>(_l3->stats().portBusyCycles) /
-             _cfg.numCores);
+    double busy = 0.0;
+    for (unsigned i = 1; i < numLevels(); ++i) {
+        const double pb = static_cast<double>(
+            level(i, core_id).stats().portBusyCycles);
+        busy += _levels[i].spec.shared ? pb / _cfg.numCores : pb;
+    }
+    const double contention = _cfg.portContentionFactor * busy;
     return base + stalls + contention;
 }
 
@@ -697,39 +686,33 @@ std::uint64_t
 System::eouOperations() const
 {
     std::uint64_t ops = 0;
-    if (_eouL2)
-        ops += _eouL2->operations();
-    if (_eouL3)
-        ops += _eouL3->operations();
+    for (const auto &eou : _eous)
+        ops += eou->operations();
     return ops;
 }
 
 void
 System::resetStats()
 {
+    for (auto &lvl : _levels)
+        for (auto &unit : lvl.units)
+            unit->resetStats();
     for (auto &core : _cores) {
-        core->l1->resetStats();
-        core->l2->resetStats();
         core->tlb.resetStats();
         core->stats = CoreStats{};
     }
-    _l3->resetStats();
     _dram.resetStats();
-    if (_eouL2)
-        _eouL2->resetStats();
-    if (_eouL3)
-        _eouL3->resetStats();
+    for (auto &eou : _eous)
+        eou->resetStats();
 
     // Restart epoch accounting so the series covers exactly the
     // post-warm-up measurement window (warm-up epochs are discarded).
     _epochAccesses = 0;
     _epochIndex = 0;
-    _epochL2Base = obs::EnergyLedger{};
-    _epochL3Base = obs::EnergyLedger{};
+    _epochLvlBase.assign(_levels.size() - 1, obs::EnergyLedger{});
+    _epochLvlHitsBase.assign(_levels.size() - 1, 0);
     _epochL1Base = 0.0;
     _epochDramBase = 0.0;
-    _epochL2HitsBase = 0;
-    _epochL3HitsBase = 0;
     _epochEouBase = 0;
     if (_epochSink)
         _epochSink->records.clear();
@@ -738,11 +721,9 @@ System::resetStats()
 void
 System::checkInvariants() const
 {
-    for (const auto &core : _cores) {
-        core->l1->checkInvariants();
-        core->l2->checkInvariants();
-    }
-    _l3->checkInvariants();
+    for (const auto &lvl : _levels)
+        for (const auto &unit : lvl.units)
+            unit->checkInvariants();
 }
 
 } // namespace slip

@@ -1,9 +1,19 @@
 /**
  * @file
- * The full-system model: N cores, each with a private L1 and L2 and a
- * TLB, sharing an L3 and DRAM; page table, per-page reuse-distance
- * metadata, time-based sampling, and the EOU — the complete Figure 7
- * machinery — plus an analytic out-of-order timing model.
+ * The full-system model: N cores, each with a TLB and the private
+ * levels of a composable cache hierarchy (HierarchySpec), sharing
+ * the non-private levels and DRAM; page table, per-page
+ * reuse-distance metadata, time-based sampling, and the EOU — the
+ * complete Figure 7 machinery — plus an analytic out-of-order timing
+ * model.
+ *
+ * The hierarchy is data, not code: SystemConfig::hierarchy names an
+ * ordered vector of LevelSpecs (empty selects the paper's Table 1
+ * three-level layout) and every level is built from the same path —
+ * a CacheLevel per unit plus a policy controller resolved from the
+ * string-keyed registry (sim/policy_registry.hh). SLIP-managed
+ * levels are assigned reuse-distance slots in order; the EOU/RD
+ * machinery attaches to whichever levels carry a SLIP policy.
  *
  * The simulator is trace driven: workload generators (src/workloads)
  * produce address streams; System::run interleaves them round-robin
@@ -24,6 +34,7 @@
 #include "obs/epoch_series.hh"
 #include "rd/metadata_store.hh"
 #include "rd/sampling.hh"
+#include "sim/hierarchy.hh"
 #include "sim/policy_kind.hh"
 #include "slip/eou.hh"
 #include "tlb/page_table.hh"
@@ -48,23 +59,23 @@ struct SystemConfig
     /** Section 7 randomized-sublevel victim choice (use with Rrip). */
     bool randomSublevelVictim = false;
     /**
-     * Inclusive L3 (Section 4.3's coherence simplification): lines
-     * leaving the L3 back-invalidate any L1/L2 copies, and the
-     * All-Bypass Policy is withheld from the L3's EOU pool — a
-     * bypassed line could not exist in the upper levels.
+     * Inclusive LLC (Section 4.3's coherence simplification): lines
+     * leaving the last level back-invalidate upper-level copies, and
+     * the All-Bypass Policy is withheld from that level's EOU pool —
+     * a bypassed line could not exist in the upper levels. Levels
+     * with an explicit LevelSpec::inclusive override ignore this.
      */
     bool inclusiveL3 = false;
 
     unsigned numCores = 1;
 
-    // Cache geometry (Table 1).
-    std::uint64_t l1Size = 32 * 1024;
-    unsigned l1Ways = 8;
-    Cycles l1Latency = 4;
-    std::uint64_t l2Size = 256 * 1024;
-    unsigned l2Ways = 16;
-    std::uint64_t l3Size = 2 * 1024 * 1024;
-    unsigned l3Ways = 16;
+    /**
+     * Cache hierarchy layout, innermost level first. Empty (the
+     * default) selects HierarchySpec::classic(), the paper's Table 1
+     * geometry; inherit markers in the spec resolve against the
+     * system-wide policy/topology/repl/inclusiveL3 knobs above.
+     */
+    HierarchySpec hierarchy;
 
     // Reuse-distance machinery.
     unsigned rdBinBits = 4;
@@ -152,12 +163,62 @@ class System
     void access(unsigned core, const MemAccess &acc);
 
     // ------------------------------------------------------------------
-    // Results
+    // Hierarchy introspection
     // ------------------------------------------------------------------
 
-    CacheLevel &l1(unsigned core) { return *_cores[core]->l1; }
-    CacheLevel &l2(unsigned core) { return *_cores[core]->l2; }
-    CacheLevel &l3() { return *_l3; }
+    unsigned numLevels() const
+    {
+        return static_cast<unsigned>(_levels.size());
+    }
+    const std::string &levelName(unsigned i) const
+    {
+        return _levels[i].spec.name;
+    }
+    bool levelShared(unsigned i) const { return _levels[i].spec.shared; }
+    bool levelSlip(unsigned i) const { return _levels[i].slot >= 0; }
+
+    /** The unit serving @p core at level @p i (shared levels have a
+     * single unit, returned for every core). */
+    CacheLevel &level(unsigned i, unsigned core)
+    {
+        Level &l = _levels[i];
+        return *l.units[l.spec.shared ? 0 : core];
+    }
+    const CacheLevel &level(unsigned i, unsigned core) const
+    {
+        const Level &l = _levels[i];
+        return *l.units[l.spec.shared ? 0 : core];
+    }
+
+    /** Stats of level @p i summed over its units. */
+    CacheLevelStats combinedLevelStats(unsigned i) const;
+
+    /** Total dynamic energy of level @p i across units, pJ. */
+    double levelEnergyPj(unsigned i) const;
+
+    /** Per-cause ledger of level @p i summed over units. */
+    obs::EnergyLedger levelLedger(unsigned i) const;
+
+    /** SLIP-managed levels (each holds one RD slot, in order). */
+    unsigned numSlipSlots() const
+    {
+        return static_cast<unsigned>(_slipLevels.size());
+    }
+    unsigned slipLevel(unsigned slot) const { return _slipLevels[slot]; }
+
+    /** The optimizer unit of RD slot @p slot (null if none). */
+    const Eou *eou(unsigned slot) const
+    {
+        return slot < _eous.size() ? _eous[slot].get() : nullptr;
+    }
+
+    // ------------------------------------------------------------------
+    // Results (classic accessors: level 0 / level 1 / last level)
+    // ------------------------------------------------------------------
+
+    CacheLevel &l1(unsigned core) { return level(0, core); }
+    CacheLevel &l2(unsigned core) { return level(1, core); }
+    CacheLevel &l3() { return level(numLevels() - 1, 0); }
     const DramModel &dram() const { return _dram; }
     DramModel &dram() { return _dram; }
     Tlb &tlb(unsigned core) { return _cores[core]->tlb; }
@@ -170,15 +231,21 @@ class System
         return _cores[core]->stats;
     }
 
-    /** L2 stats summed over cores (private L2s). */
-    CacheLevelStats combinedL2Stats() const;
+    /** Level-1 stats summed over cores (private L2s classically). */
+    CacheLevelStats combinedL2Stats() const
+    {
+        return combinedLevelStats(1);
+    }
 
     /** Total dynamic energy of one level across cores, pJ. */
-    double l1EnergyPj() const;
-    double l2EnergyPj() const;
-    double l3EnergyPj() const { return _l3->stats().totalEnergyPj(); }
+    double l1EnergyPj() const { return levelEnergyPj(0); }
+    double l2EnergyPj() const { return levelEnergyPj(1); }
+    double l3EnergyPj() const
+    {
+        return levelEnergyPj(numLevels() - 1);
+    }
 
-    /** Core + L1 + L2 + L3 + DRAM dynamic energy (Figure 10), pJ. */
+    /** Core + all cache levels + DRAM dynamic energy (Figure 10). */
     double fullSystemEnergyPj() const;
 
     /** Retired instructions (accesses x instrPerAccess). */
@@ -190,12 +257,18 @@ class System
     /** Slowest core's cycles (the run's execution time). */
     double totalCycles() const;
 
-    /** EOU invocations across both levels. */
+    /** EOU invocations across all SLIP-managed levels. */
     std::uint64_t eouOperations() const;
 
-    /** The per-level optimizer units (null for non-SLIP policies). */
-    const Eou *eouL2() const { return _eouL2.get(); }
-    const Eou *eouL3() const { return _eouL3.get(); }
+    /** The per-slot optimizer units (null for non-SLIP policies). */
+    const Eou *eouL2() const
+    {
+        return _eous.empty() ? nullptr : _eous[0].get();
+    }
+    const Eou *eouL3() const
+    {
+        return _eous.size() < 2 ? nullptr : _eous[1].get();
+    }
 
     /** Reset all statistics; cache/TLB/page-table contents persist. */
     void resetStats();
@@ -220,32 +293,51 @@ class System
     /** Logical access tick (trace timestamp domain). */
     std::uint64_t accessTick() const { return _accessTick; }
 
-    /** L2 (summed over cores) / L3 energy ledgers so far. */
-    obs::EnergyLedger l2Ledger() const;
+    /** Level-1 (summed over cores) / last-level energy ledgers. */
+    obs::EnergyLedger l2Ledger() const { return levelLedger(1); }
     const obs::EnergyLedger &l3Ledger() const
     {
-        return _l3->stats().causePj;
+        return level(numLevels() - 1, 0).stats().causePj;
     }
 
   private:
     struct Core
     {
-        std::unique_ptr<CacheLevel> l1;
-        std::unique_ptr<LevelController> l1ctrl;
-        std::unique_ptr<CacheLevel> l2;
-        std::unique_ptr<LevelController> l2ctrl;
         Tlb tlb;
         CoreStats stats;
 
         explicit Core(unsigned tlb_entries) : tlb(tlb_entries) {}
     };
 
-    /** Build a controller of the configured kind over @p level. */
-    std::unique_ptr<LevelController> makeController(CacheLevel &level,
-                                                    unsigned level_idx);
+    /** One hierarchy level: its resolved spec, one CacheLevel per
+     * unit (numCores for private levels, 1 for shared), the policy
+     * controllers (parallel to units), and drain scratch. */
+    struct Level
+    {
+        ResolvedLevel spec;
+        int slot = -1;  ///< RD slot when SLIP-managed, else -1
+        bool abp = false;  ///< policy's EOU pool includes all-bypass
+        std::vector<std::unique_ptr<CacheLevel>> units;
+        std::vector<std::unique_ptr<LevelController>> ctrls;
+        /** Scratch eviction list reused across accesses so the hot
+         * path performs no allocation; always drained (and cleared)
+         * before this level can fill again, so it never nests. */
+        std::vector<Eviction> evs;
+
+        CacheLevel &
+        unit(unsigned c)
+        {
+            return *units[spec.shared ? 0 : c];
+        }
+        LevelController &
+        ctrl(unsigned c)
+        {
+            return *ctrls[spec.shared ? 0 : c];
+        }
+    };
 
     /** TLB miss: walk, state transition, metadata fetch, EOU. */
-    Cycles handleTlbMiss(Core &core, Addr page);
+    Cycles handleTlbMiss(unsigned core_id, Core &core, Addr page);
 
     /** One measurement window of run(): chunked pull + interleave. */
     void runWindow(const std::vector<AccessSource *> &sources,
@@ -264,60 +356,50 @@ class System
     /** Page context for a demand access to @p page. */
     PageCtx pageCtx(Addr page);
 
-    /** Record one reuse-distance observation for a page at a level. */
-    void recordRd(const PageCtx &ctx, unsigned level_idx, int bin);
+    /** Record one reuse-distance observation for a page at a slot. */
+    void recordRd(const PageCtx &ctx, int slot, int bin);
 
     /**
-     * Demand read through L2 -> L3 -> DRAM with fills on the way back.
-     * @return service latency below the L1
+     * Demand read walking the outer levels (1..N-1) down to DRAM
+     * with fills on the way back.
+     * @return service latency below level 0
      */
-    Cycles demandFetch(Core &core, Addr line, const PageCtx &ctx);
+    Cycles demandFetch(unsigned core_id, Addr line, const PageCtx &ctx);
 
-    /** Route a dirty line evicted from the L1 into the L2 (and down). */
-    void writebackToL2(Core &core, Addr line);
+    /** Route a dirty line evicted from level @p i - 1 into level
+     * @p i (non-allocating update when present, else a fill). */
+    void writebackToLevel(unsigned i, unsigned core_id, Addr line);
 
-    /** Route a dirty line leaving a private L2 into the shared L3. */
-    void writebackToL3(Core &core, Addr line, PolicyPair policies);
-
-    /** Process eviction lists: forward dirty lines downward. */
-    void drainL2Evictions(Core &core, std::vector<Eviction> &evs);
-    void drainL3Evictions(std::vector<Eviction> &evs);
+    /** Process level @p i's eviction list: back-invalidate upper
+     * levels when inclusive, forward dirty lines downward. */
+    void drainEvictions(unsigned i, unsigned core_id);
 
     /**
      * Metadata line read/write through the hierarchy (distribution
      * fetches/writebacks, PTE walks). Non-allocating writes.
      * @return service latency
      */
-    Cycles metadataAccess(Core &core, Addr line, bool is_write,
+    Cycles metadataAccess(unsigned core_id, Addr line, bool is_write,
                           AccessClass cls);
 
     SystemConfig _cfg;
 
     // Immutable-config values hoisted out of the per-access path.
-    bool _isSlip;
+    bool _isSlip = false;
     bool _samplingAlways;
     double _l1RefPj;         ///< l1HitsPerMiss * l1AccessPj
     unsigned _rdBlockPages;
+    Cycles _l1Latency = 4;   ///< level 0 baseline latency
 
-    // Scratch eviction lists reused across accesses so the hot path
-    // performs no allocation. One per level; a level's list is always
-    // drained (and cleared) before that level can fill again, so they
-    // never nest (see drainL2Evictions / drainL3Evictions).
-    std::vector<Eviction> _evsL1;
-    std::vector<Eviction> _evsL2;
-    std::vector<Eviction> _evsL3;
-
+    std::vector<Level> _levels;  ///< [0] = innermost
+    std::vector<unsigned> _slipLevels;  ///< level index per RD slot
     std::vector<std::unique_ptr<Core>> _cores;
-    std::unique_ptr<CacheLevel> _l3;
-    std::unique_ptr<LevelController> _l3ctrl;
     DramModel _dram;
 
     PageTable _pageTable;
     MetadataStore _metadata;
     SamplingController _sampling;
-    std::unique_ptr<Eou> _eouL2;
-    std::unique_ptr<Eou> _eouL3;
-    double _eouEnergyPj = 0.0;
+    std::vector<std::unique_ptr<Eou>> _eous;  ///< one per RD slot
 
     // Observability state. When no sink/trace is configured the only
     // per-access cost is one increment and one zero test.
@@ -327,12 +409,11 @@ class System
     std::uint64_t _epochAccesses = 0;  ///< refs since last rollover
     std::uint64_t _epochIndex = 0;
     // Totals at the last rollover, so each epoch records deltas.
-    obs::EnergyLedger _epochL2Base{};
-    obs::EnergyLedger _epochL3Base{};
+    // One ledger/hit base per outer level (index 0 = level 1).
+    std::vector<obs::EnergyLedger> _epochLvlBase;
+    std::vector<std::uint64_t> _epochLvlHitsBase;
     double _epochL1Base = 0.0;
     double _epochDramBase = 0.0;
-    std::uint64_t _epochL2HitsBase = 0;
-    std::uint64_t _epochL3HitsBase = 0;
     std::uint64_t _epochEouBase = 0;
 };
 

@@ -86,6 +86,7 @@ makeConfig(PolicyKind policy, const SweepOptions &opts, unsigned cores)
     cfg.eouIncludeInsertion = opts.eouIncludeInsertion;
     cfg.repl = opts.repl;
     cfg.randomSublevelVictim = opts.randomSublevelVictim;
+    cfg.hierarchy = opts.hierarchy;
     cfg.numCores = cores;
     // Observation settings live outside the spec (and its cache key):
     // epoch accounting reads simulation state but never changes it.

@@ -14,6 +14,19 @@ envU64(const char *name, std::uint64_t fallback)
     return v ? std::strtoull(v, nullptr, 0) : fallback;
 }
 
+/** FNV-1a; the hierarchy fragment is folded to 16 hex digits so the
+ * cache key stays a sane on-disk file name for deep hierarchies. */
+std::uint64_t
+fnv1a(const std::string &s)
+{
+    std::uint64_t h = 1469598103934665603ull;
+    for (unsigned char c : s) {
+        h ^= c;
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
 } // namespace
 
 SweepOptions::SweepOptions() : tech(tech45nm())
@@ -25,15 +38,16 @@ SweepOptions::SweepOptions() : tech(tech45nm())
 std::string
 SweepOptions::key() const
 {
-    // v7: results gained the per-cause energy ledger and the DRAM
-    // demand/metadata energy split; bumping the version retires every
-    // pre-v7 cache entry (they would parse with zero-valued ledgers).
+    // v8: keys gained the hierarchy fragment (always serialized in
+    // canonical form, so classic runs from any construction path —
+    // CLI, programmatic, scenario file — share entries).
     std::ostringstream os;
     os << kCacheKeyVersion << "_r" << refs << "_w" << warmup << "_"
        << tech.name << "_t"
        << int(topology) << "_s" << int(samplingMode) << "_b"
        << rdBinBits << "_i" << eouIncludeInsertion << "_p" << int(repl)
-       << "_v" << randomSublevelVictim;
+       << "_v" << randomSublevelVictim << "_h" << std::hex
+       << fnv1a(hierarchy.key());
     return os.str();
 }
 

@@ -25,10 +25,11 @@ namespace slip {
 
 /**
  * Version prefix of every sweep cache key. Bump whenever the RunResult
- * serialization changes shape so stale on-disk entries are retired
- * instead of parsed into partially-zero results.
+ * serialization changes shape or the key format changes so stale
+ * on-disk entries are retired instead of parsed into partially-zero
+ * results.
  */
-constexpr const char *kCacheKeyVersion = "v7";
+constexpr const char *kCacheKeyVersion = "v8";
 
 /** Sweep configuration shared by the experiment harnesses. */
 struct SweepOptions
@@ -42,6 +43,13 @@ struct SweepOptions
     bool eouIncludeInsertion = true;
     ReplKind repl = ReplKind::Lru;
     bool randomSublevelVictim = false;
+    /**
+     * Cache hierarchy; empty = classic. The key serializes through
+     * HierarchySpec::key(), which canonicalizes an empty spec to the
+     * classic layout, so a scenario spelling out Table 1 and a legacy
+     * programmatic config hash to the same cache entry.
+     */
+    HierarchySpec hierarchy;
 
     SweepOptions();  // reads the environment knobs
 

@@ -1,6 +1,7 @@
 #include "workloads/spec_suite.hh"
 
 #include <functional>
+#include <mutex>
 
 #include "util/logging.hh"
 
@@ -373,6 +374,29 @@ builders()
     return b;
 }
 
+/**
+ * The mutable workload registry: seeded with the paper's suite,
+ * extended by registerWorkload. Guarded because sweep workers build
+ * workloads concurrently.
+ */
+struct WorkloadRegistry
+{
+    std::mutex mtx;
+    std::vector<std::pair<std::string, WorkloadBuilder>> entries;
+};
+
+WorkloadRegistry &
+workloadRegistry()
+{
+    static WorkloadRegistry *r = [] {
+        auto *reg = new WorkloadRegistry;
+        for (const auto &kv : builders())
+            reg->entries.emplace_back(kv.first, kv.second);
+        return reg;
+    }();
+    return *r;
+}
+
 } // namespace
 
 const std::vector<std::string> &
@@ -384,6 +408,41 @@ specBenchmarks()
             n.push_back(kv.first);
         return n;
     }();
+    return names;
+}
+
+void
+registerWorkload(const std::string &name, WorkloadBuilder builder)
+{
+    slip_assert(!name.empty() && builder,
+                "workload registration needs a name and a builder");
+    WorkloadRegistry &r = workloadRegistry();
+    std::lock_guard<std::mutex> lock(r.mtx);
+    for (const auto &kv : r.entries)
+        if (kv.first == name)
+            fatal("duplicate workload registration '%s'", name.c_str());
+    r.entries.emplace_back(name, std::move(builder));
+}
+
+bool
+isKnownWorkload(const std::string &name)
+{
+    WorkloadRegistry &r = workloadRegistry();
+    std::lock_guard<std::mutex> lock(r.mtx);
+    for (const auto &kv : r.entries)
+        if (kv.first == name)
+            return true;
+    return false;
+}
+
+std::vector<std::string>
+workloadNames()
+{
+    WorkloadRegistry &r = workloadRegistry();
+    std::lock_guard<std::mutex> lock(r.mtx);
+    std::vector<std::string> names;
+    for (const auto &kv : r.entries)
+        names.push_back(kv.first);
     return names;
 }
 
@@ -400,9 +459,16 @@ figure1Benchmarks()
 std::unique_ptr<Workload>
 makeSpecWorkload(const std::string &name, std::uint64_t seed)
 {
-    for (const auto &kv : builders())
-        if (kv.first == name)
-            return kv.second(seed);
+    WorkloadBuilder builder;
+    {
+        WorkloadRegistry &r = workloadRegistry();
+        std::lock_guard<std::mutex> lock(r.mtx);
+        for (const auto &kv : r.entries)
+            if (kv.first == name)
+                builder = kv.second;
+    }
+    if (builder)
+        return builder(seed);
     fatal("unknown benchmark '%s'", name.c_str());
 }
 

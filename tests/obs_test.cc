@@ -297,7 +297,11 @@ TEST_F(ObsTest, EpochSeriesSumsToRunLedger)
         EXPECT_GT(e.endTick, prev_end);
         prev_end = e.endTick;
         accesses += e.accesses;
-        obs::ledgerMerge(l2_sum, e.l2Pj);
+        const auto l2 = std::find_if(
+            e.levels.begin(), e.levels.end(),
+            [](const obs::LevelEpoch &lvl) { return lvl.name == "l2"; });
+        ASSERT_NE(l2, e.levels.end());
+        obs::ledgerMerge(l2_sum, l2->pj);
     }
     // Epochs only cover the measurement window (stats reset after
     // warm-up), so access counts and ledger deltas must reconstruct
