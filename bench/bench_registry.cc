@@ -47,6 +47,8 @@ usage(const char *argv0)
         "  --refs N          measured references per run "
         "(= SLIP_BENCH_REFS)\n"
         "  --warmup N        warm-up references (= SLIP_BENCH_WARMUP)\n"
+        "  --run-threads N   pipeline threads inside each simulation "
+        "(= SLIP_RUN_THREADS)\n"
         "  --cache DIR       result cache directory "
         "(= SLIP_BENCH_CACHE)\n"
         "  --timing-json F   write sweep timing record to F\n"
@@ -84,6 +86,8 @@ sweepStatsJson(const SweepRunner &runner, double wall_seconds)
     const SweepRunner::Stats st = runner.stats();
     json::Value v = json::Value::object();
     v["jobs"] = runner.jobs();
+    // Both parallelism axes: sweep workers × pipeline threads per run.
+    v["run_threads"] = SweepOptions().runThreads;
     v["runs_executed"] = std::uint64_t(st.executed);
     v["cache_hits"] = std::uint64_t(st.cacheHits);
     v["duplicate_requests"] = std::uint64_t(st.memoHits);
@@ -228,6 +232,8 @@ scenarioRunSpec(const Scenario &s)
     parseReplKind(s.repl, opts.repl);
     opts.randomSublevelVictim = s.randomVictim;
     opts.hierarchy = s.hierarchy;
+    if (s.runThreads)
+        opts.runThreads = s.runThreads;
 
     PolicyKind pk = PolicyKind::Baseline;
     parsePolicyKind(s.policy, pk);
@@ -331,6 +337,8 @@ benchOrchestratorMain(int argc, char **argv)
             ::setenv("SLIP_BENCH_REFS", value(), 1);
         } else if (arg == "--warmup") {
             ::setenv("SLIP_BENCH_WARMUP", value(), 1);
+        } else if (arg == "--run-threads") {
+            ::setenv("SLIP_RUN_THREADS", value(), 1);
         } else if (arg == "--cache") {
             ::setenv("SLIP_BENCH_CACHE", value(), 1);
         } else if (arg == "--timing-json") {

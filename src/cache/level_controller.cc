@@ -6,8 +6,23 @@ AccessResult
 LevelController::access(Addr line, bool is_write, const PageCtx &page,
                         AccessClass cls)
 {
+    return finishAccess(_level.lookup(line, cls), is_write, page, cls);
+}
+
+AccessResult
+LevelController::accessPrepared(Addr line, bool is_write,
+                                const PageCtx &page, AccessClass cls,
+                                const LookupResult &peeked)
+{
+    (void)peeked;
+    return access(line, is_write, page, cls);
+}
+
+AccessResult
+LevelController::finishAccess(const LookupResult &lr, bool is_write,
+                              const PageCtx &page, AccessClass cls)
+{
     AccessResult res;
-    const LookupResult lr = _level.lookup(line, cls);
     if (!lr.hit)
         return res;
 
@@ -22,6 +37,16 @@ LevelController::access(Addr line, bool is_write, const PageCtx &page,
     res.latency = _level.recordHit(lr.setIndex, lr.way, is_write, cls,
                                    page.collectRd);
     return res;
+}
+
+AccessResult
+BaselineController::accessPrepared(Addr line, bool is_write,
+                                   const PageCtx &page, AccessClass cls,
+                                   const LookupResult &peeked)
+{
+    (void)line;
+    return finishAccess(_level.lookupPrepared(cls, peeked), is_write,
+                        page, cls);
 }
 
 bool

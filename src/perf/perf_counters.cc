@@ -12,7 +12,9 @@ std::atomic<std::uint64_t> g_ns[kNumPhases];
 std::atomic<std::uint64_t> g_calls[kNumPhases];
 
 const char *kPhaseNames[kNumPhases] = {
-    "workload_gen", "tlb", "rd_profile", "cache_walk", "eou", "run",
+    "workload_gen", "tlb",        "rd_profile",  "cache_walk", "eou",
+    "front_end",    "queue_full", "queue_empty", "shared_stage",
+    "run",
 };
 
 } // namespace

@@ -43,6 +43,14 @@ enum class Phase : unsigned {
     RdProfile,    ///< reuse-distance recording into the metadata store
     CacheWalk,    ///< the L1→L2→L3→DRAM demand path incl. fills
     Eou,          ///< EOU policy optimizations (nested inside Tlb)
+    // Pipelined-run stages (--run-threads > 1; DESIGN.md §Intra-run
+    // parallelism). Front/shared busy time accumulates across all
+    // worker threads, so shares can exceed 1.0 of Run on purpose —
+    // read them against each other to spot pipeline imbalance.
+    FrontEnd,     ///< front-end workers: per-core TLB/private-level work
+    QueueFull,    ///< producers blocked on a full SPSC queue
+    QueueEmpty,   ///< the merge stage blocked on an empty SPSC queue
+    SharedStage,  ///< merge stage executing shared-level accesses
     Run,          ///< whole System::run invocations (the denominator)
     NumPhases,
 };

@@ -269,6 +269,55 @@ addShapeScenarios(std::vector<Scenario> &out)
         s.hierarchy.levels[2].policy = "slip";
         out.push_back(s);
     }
+    {
+        // Four cores with private L1+L2 under a shared baseline LLC:
+        // the pipelined-run showcase (full-front eligible), with the
+        // run_threads hint so scenario consumers default to the
+        // sharded execution. Results are byte-identical either way.
+        Scenario s = base("hier3_multicore4",
+                          "Four-core baseline hierarchy with private "
+                          "L1+L2; pipelined run (run_threads hint)");
+        s.policy = "baseline";
+        s.cores = 4;
+        s.refs = 200'000;
+        s.warmup = 200'000;
+        s.runThreads = 4;
+        s.hierarchy.levels.clear();
+        LevelSpec l1;
+        l1.name = "l1";
+        l1.sizeBytes = 32 * 1024;
+        l1.ways = 8;
+        l1.isPrivate = true;
+        l1.inclusive = Tri::Off;
+        l1.policy = "baseline";
+        l1.topology = "set";
+        l1.repl = "lru";
+        l1.randomVictim = Tri::Off;
+        l1.energy = "l1";
+        l1.latency = 4;
+        l1.sublevelWays = {2, 2, 4};
+        l1.waysPerRow = 2;
+        s.hierarchy.levels.push_back(l1);
+        LevelSpec l2;
+        l2.name = "l2";
+        l2.sizeBytes = 256 * 1024;
+        l2.ways = 8;
+        l2.isPrivate = true;
+        l2.inclusive = Tri::Off;
+        l2.policy = "baseline";
+        l2.energy = "l2";
+        l2.sublevelWays = {2, 2, 4};
+        l2.waysPerRow = 2;
+        s.hierarchy.levels.push_back(l2);
+        LevelSpec llc;
+        llc.name = "llc";
+        llc.sizeBytes = 2 * 1024 * 1024;
+        llc.ways = 16;
+        llc.isPrivate = false;
+        llc.energy = "l3";
+        s.hierarchy.levels.push_back(llc);
+        out.push_back(s);
+    }
 }
 
 } // namespace

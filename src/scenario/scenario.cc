@@ -223,7 +223,7 @@ parseScenario(const json::Value &root, Scenario &out)
          "random_victim", "inclusive_llc", "cores", "workload",
          "workloads", "refs", "warmup", "rd_bin_bits", "sampling",
          "eou_include_insertion", "rd_block_pages", "seed",
-         "workload_seed", "levels"});
+         "workload_seed", "run_threads", "levels"});
     if (!err.empty())
         return err;
 
@@ -307,6 +307,9 @@ parseScenario(const json::Value &root, Scenario &out)
     if (!(err = getU64(root, "$", "seed", out.seed)).empty())
         return err;
     if (!(err = getU64(root, "$", "workload_seed", out.workloadSeed))
+             .empty())
+        return err;
+    if (!(err = getUnsigned(root, "$", "run_threads", out.runThreads))
              .empty())
         return err;
 
@@ -432,6 +435,8 @@ scenarioSystemConfig(const Scenario &s)
     cfg.eouIncludeInsertion = s.eouIncludeInsertion;
     cfg.rdBlockPages = s.rdBlockPages;
     cfg.seed = s.seed;
+    if (s.runThreads)
+        cfg.runThreads = s.runThreads;
     return cfg;
 }
 
@@ -472,6 +477,8 @@ scenarioJson(const Scenario &s)
     root["seed"] = s.seed;
     if (s.workloadSeed)
         root["workload_seed"] = s.workloadSeed;
+    if (s.runThreads)
+        root["run_threads"] = s.runThreads;
     if (!s.hierarchy.empty()) {
         json::Value &levels = root["levels"];
         levels = json::Value::array();

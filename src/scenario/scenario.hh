@@ -59,6 +59,14 @@ struct Scenario
      * seed; the golden fixtures pin workload seed 0, system seed 1). */
     std::uint64_t workloadSeed = 0;
 
+    /**
+     * Intra-run pipeline threads (SystemConfig::runThreads). Purely an
+     * execution hint — results are byte-identical for any value — so
+     * 0 (= unset, run serially unless the caller overrides) is the
+     * default and the key is omitted from canonical serialization.
+     */
+    unsigned runThreads = 0;
+
     /** Empty = the classic Table 1 three-level hierarchy. */
     HierarchySpec hierarchy;
 };

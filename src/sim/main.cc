@@ -47,6 +47,9 @@ usage()
         "  --warmup N          warm-up references (default = refs)\n"
         "  --cores N           cores (same workload, offset address\n"
         "                      spaces; default 1)\n"
+        "  --run-threads N     pipeline threads inside the run\n"
+        "                      (stats are byte-identical for any N;\n"
+        "                      default 1 = serial)\n"
         "  --tech T            45nm | 22nm       (default 45nm)\n"
         "  --topology T        way | set | htree (default way)\n"
         "  --repl R            lru | rrip | random\n"
@@ -75,6 +78,7 @@ main(int argc, char **argv)
         stats_json_path, dump_path;
     bool loop_trace = false;
     bool refs_set = false, warmup_set = false, seed_set = false;
+    unsigned run_threads = 0;  // 0 = not given on the command line
     std::uint64_t refs = 2'000'000;
     std::uint64_t warmup = ~0ull;
     SystemConfig cfg;
@@ -113,6 +117,11 @@ main(int argc, char **argv)
         } else if (arg == "--cores") {
             cfg.numCores =
                 unsigned(std::strtoul(value().c_str(), nullptr, 0));
+        } else if (arg == "--run-threads") {
+            run_threads =
+                unsigned(std::strtoul(value().c_str(), nullptr, 0));
+            if (run_threads == 0)
+                fatal("--run-threads must be positive");
         } else if (arg == "--tech") {
             const std::string t = value();
             if (t == "45nm")
@@ -182,6 +191,9 @@ main(int argc, char **argv)
     }
     if (warmup == ~0ull)
         warmup = refs;
+    // The CLI wins over a scenario's run_threads hint (like --seed).
+    if (run_threads)
+        cfg.runThreads = run_threads;
 
     // The JSON dump carries the per-cause energy ledger, which is only
     // accumulated while the metrics registry is live.

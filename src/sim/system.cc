@@ -139,6 +139,35 @@ System::System(const SystemConfig &cfg)
 
     _epochLvlBase.assign(_levels.size() - 1, obs::EnergyLedger{});
     _epochLvlHitsBase.assign(_levels.size() - 1, 0);
+
+    // Private-prefix / shared-suffix boundary for the pipelined run:
+    // the first shared level, valid only when every deeper level is
+    // shared too (else numLevels(), meaning "no clean boundary").
+    _firstShared = static_cast<unsigned>(_levels.size());
+    for (unsigned i = 0; i < _levels.size(); ++i) {
+        if (_levels[i].spec.shared) {
+            _firstShared = i;
+            break;
+        }
+    }
+    for (unsigned i = _firstShared; i < _levels.size(); ++i) {
+        if (!_levels[i].spec.shared) {
+            _firstShared = static_cast<unsigned>(_levels.size());
+            break;
+        }
+    }
+
+    // SoA batch tag probes only pay off when the level-0 controller
+    // consumes pre-computed probes (see _batchProbe in the header).
+    _batchProbe = true;
+    for (const auto &ctrl : _levels[0].ctrls)
+        _batchProbe = _batchProbe && ctrl->prefersPrepared();
+    if (_batchProbe) {
+        _l1ProbeEpoch.assign(_levels[0].units.size(), 0);
+        _l1SetStamp.resize(_levels[0].units.size());
+        for (std::size_t u = 0; u < _levels[0].units.size(); ++u)
+            _l1SetStamp[u].assign(_levels[0].units[u]->numSets(), 0);
+    }
 }
 
 System::~System() = default;
@@ -180,6 +209,16 @@ System::recordRd(const PageCtx &ctx, int slot, int bin)
 
 Cycles
 System::handleTlbMiss(unsigned core_id, Core &core, Addr page)
+{
+    Cycles lat = tlbMissShared(core_id, page);
+    Addr evicted = 0;
+    if (core.tlb.insert(page, evicted))
+        tlbEvictShared(core_id, evicted);
+    return lat;
+}
+
+Cycles
+System::tlbMissShared(unsigned core_id, Addr page)
 {
     Cycles lat = 0;
     const Addr block = rdBlock(page);
@@ -262,24 +301,25 @@ System::handleTlbMiss(unsigned core_id, Core &core, Addr page)
             pte.sampling = now_sampling;
         }
     }
-
-    Addr evicted = 0;
-    if (core.tlb.insert(page, evicted)) {
-        Pte &epte = _pageTable.pte(rdBlock(evicted));
-        if (_isSlip && epte.sampling && !_samplingAlways) {
-            // Write the evicted page's distribution back (off the
-            // critical path of the missing access).
-            metadataAccess(core_id,
-                           _metadata.metadataLine(rdBlock(evicted)),
-                           true, AccessClass::Metadata);
-        }
-        if (epte.dirty && _cfg.modelPageWalks) {
-            metadataAccess(core_id, _pageTable.pteLine(evicted), true,
-                           AccessClass::Demand);
-            epte.dirty = false;
-        }
-    }
     return lat;
+}
+
+void
+System::tlbEvictShared(unsigned core_id, Addr evicted)
+{
+    Pte &epte = _pageTable.pte(rdBlock(evicted));
+    if (_isSlip && epte.sampling && !_samplingAlways) {
+        // Write the evicted page's distribution back (off the
+        // critical path of the missing access).
+        metadataAccess(core_id,
+                       _metadata.metadataLine(rdBlock(evicted)),
+                       true, AccessClass::Metadata);
+    }
+    if (epte.dirty && _cfg.modelPageWalks) {
+        metadataAccess(core_id, _pageTable.pteLine(evicted), true,
+                       AccessClass::Demand);
+        epte.dirty = false;
+    }
 }
 
 Cycles
@@ -404,23 +444,33 @@ System::drainEvictions(unsigned i, unsigned core_id)
         if (lvl.spec.inclusive) {
             // Back-invalidate upper-level copies; a dirty copy there
             // must reach the next level since this entry is gone.
+            // Level-0 invalidations stamp the set so a pre-computed
+            // batch probe of it is discarded (touchL1Set).
             for (unsigned j = 0; j < i; ++j) {
                 Level &upper = _levels[j];
                 if (upper.spec.shared) {
                     bool d = false;
                     upper.units[0]->invalidate(ev.lineAddr, &d);
                     dirty = dirty || d;
+                    if (j == 0)
+                        touchL1Set(0, ev.lineAddr);
                 } else if (lvl.spec.shared) {
                     // Shared level evicting: any core may hold it.
-                    for (auto &unit : upper.units) {
+                    for (unsigned u = 0;
+                         u < static_cast<unsigned>(upper.units.size());
+                         ++u) {
                         bool d = false;
-                        unit->invalidate(ev.lineAddr, &d);
+                        upper.units[u]->invalidate(ev.lineAddr, &d);
                         dirty = dirty || d;
+                        if (j == 0)
+                            touchL1Set(u, ev.lineAddr);
                     }
                 } else {
                     bool d = false;
                     upper.units[core_id]->invalidate(ev.lineAddr, &d);
                     dirty = dirty || d;
+                    if (j == 0)
+                        touchL1Set(core_id, ev.lineAddr);
                 }
             }
         }
@@ -439,25 +489,51 @@ System::access(unsigned core_id, const MemAccess &acc)
 {
     slip_assert(core_id < _cores.size(), "core %u out of range",
                 core_id);
+    accessImpl(core_id, acc, nullptr, nullptr);
+}
+
+void
+System::accessImpl(unsigned core_id, const MemAccess &acc,
+                   const LookupResult *peeked, const pipe::FrontRef *fr)
+{
     Core &core = *_cores[core_id];
     Level &l0 = _levels[0];
-    CacheLevel &l1 = *l0.units[core_id];
-    LevelController &l1ctrl = *l0.ctrls[core_id];
+    const unsigned u0 = l0.spec.shared ? 0 : core_id;
+    CacheLevel &l1 = *l0.units[u0];
+    LevelController &l1ctrl = *l0.ctrls[u0];
     ++_accessTick;
 
-    if (_cfg.contextSwitchInterval &&
-        ++core.stats.accessesSinceSwitch >= _cfg.contextSwitchInterval) {
-        core.tlb.flush();
-        core.stats.accessesSinceSwitch = 0;
-    }
-
-    const Addr page = pageAddr(acc.addr);
-    const Addr line = lineAddr(acc.addr);
-
+    Addr page, line;
+    bool is_write;
     Cycles lat = 0;
-    if (!core.tlb.lookup(page)) {
-        perf::ScopedPhase tlb_scope(perf::Phase::Tlb);
-        lat += handleTlbMiss(core_id, core, page);
+
+    if (fr) {
+        // Pipelined merge stage: the front-end already ran the
+        // context-switch check and the TLB; replay its outcome here
+        // so the shared work happens in serial order.
+        page = fr->page;
+        line = fr->line;
+        is_write = (fr->flags & pipe::kRefWrite) != 0;
+        if (fr->flags & pipe::kRefTlbMiss) {
+            perf::ScopedPhase tlb_scope(perf::Phase::Tlb);
+            lat += tlbMissShared(core_id, page);
+            if (fr->flags & pipe::kRefTlbEvict)
+                tlbEvictShared(core_id, fr->evictedPage);
+        }
+    } else {
+        if (_cfg.contextSwitchInterval &&
+            ++core.stats.accessesSinceSwitch >=
+                _cfg.contextSwitchInterval) {
+            core.tlb.flush();
+            core.stats.accessesSinceSwitch = 0;
+        }
+        page = pageAddr(acc.addr);
+        line = lineAddr(acc.addr);
+        is_write = acc.isWrite();
+        if (!core.tlb.lookup(page)) {
+            perf::ScopedPhase tlb_scope(perf::Phase::Tlb);
+            lat += handleTlbMiss(core_id, core, page);
+        }
     }
 
     const PageCtx ctx = pageCtx(page);
@@ -469,14 +545,20 @@ System::access(unsigned core_id, const MemAccess &acc)
 
     perf::ScopedPhase walk_scope(perf::Phase::CacheWalk);
     PageCtx l1ctx;  // the innermost level is SLIP-agnostic
-    AccessResult r1 =
-        l1ctrl.access(line, acc.isWrite(), l1ctx, AccessClass::Demand);
+    AccessResult r1;
+    if (peeked &&
+        _l1SetStamp[u0][peeked->setIndex] != _l1ProbeEpoch[u0])
+        r1 = l1ctrl.accessPrepared(line, is_write, l1ctx,
+                                   AccessClass::Demand, *peeked);
+    else
+        r1 = l1ctrl.access(line, is_write, l1ctx, AccessClass::Demand);
     lat += _l1Latency;
     if (r1.hit) {
         ++core.stats.l1Hits;
     } else {
         lat += demandFetch(core_id, line, ctx);
-        l1ctrl.fill(line, acc.isWrite(), ctx, l0.evs);
+        l1ctrl.fill(line, is_write, ctx, l0.evs);
+        touchL1Set(u0, line);
         drainEvictions(0, core_id);
     }
 
@@ -552,13 +634,27 @@ System::run(const std::vector<AccessSource *> &sources,
                 "need one source per core");
     perf::ScopedPhase run_scope(perf::Phase::Run);
     // Bind trace emits (including those from NUCA controllers, which
-    // have no System reference) to this run's pid and tick.
+    // have no System reference) to this run's pid and tick. The
+    // pipelined merge stage runs on this thread, so the binding
+    // covers every emit in both modes.
     obs::RunTraceScope trace_scope(_tracePid, &_accessTick);
 
-    runWindow(sources, warmup_per_core);
-    if (warmup_per_core > 0)
-        resetStats();
-    runWindow(sources, accesses_per_core);
+    const unsigned nthreads = std::max(1u, _cfg.runThreads);
+    if (nthreads > 1) {
+        const unsigned nworkers =
+            std::min<unsigned>(static_cast<unsigned>(_cores.size()),
+                               nthreads - 1);
+        const bool full = fullFrontEligible();
+        runWindowPipelined(sources, warmup_per_core, nworkers, full);
+        if (warmup_per_core > 0)
+            resetStats();
+        runWindowPipelined(sources, accesses_per_core, nworkers, full);
+    } else {
+        runWindow(sources, warmup_per_core);
+        if (warmup_per_core > 0)
+            resetStats();
+        runWindow(sources, accesses_per_core);
+    }
     // Close the final partial epoch so the series accounts every pJ of
     // the measured window.
     if (_cfg.epochIntervalRefs != 0 && _epochAccesses > 0)
@@ -580,6 +676,17 @@ System::runWindow(const std::vector<AccessSource *> &sources,
         ncores, std::vector<MemAccess>(kChunk));
     std::vector<std::size_t> got(ncores, 0);
 
+    // SoA batch tag probes (see _batchProbe): pre-probe each chunk's
+    // level-0 lookups in one vectorizable pass per core, then consume
+    // the results per reference unless the set was mutated meanwhile.
+    std::vector<std::vector<Addr>> lines;
+    std::vector<std::vector<LookupResult>> peeked;
+    if (_batchProbe) {
+        lines.assign(ncores, std::vector<Addr>(kChunk));
+        peeked.assign(ncores, std::vector<LookupResult>(kChunk));
+    }
+    const bool l0_shared = _levels[0].spec.shared;
+
     std::uint64_t remaining = accesses_per_core;
     while (remaining > 0) {
         const std::size_t n = static_cast<std::size_t>(
@@ -589,12 +696,452 @@ System::runWindow(const std::vector<AccessSource *> &sources,
             for (unsigned c = 0; c < ncores; ++c)
                 got[c] = sources[c]->nextBatch(buf[c].data(), n);
         }
+        if (_batchProbe) {
+            for (auto &epoch : _l1ProbeEpoch)
+                ++epoch;
+            for (unsigned c = 0; c < ncores; ++c) {
+                const unsigned u = l0_shared ? 0 : c;
+                for (std::size_t i = 0; i < got[c]; ++i)
+                    lines[c][i] = lineAddr(buf[c][i].addr);
+                _levels[0].units[u]->peekBatch(
+                    lines[c].data(), got[c], peeked[c].data());
+            }
+        }
         for (std::size_t i = 0; i < n; ++i)
             for (unsigned c = 0; c < ncores; ++c)
                 if (i < got[c])
-                    access(c, buf[c][i]);
+                    accessImpl(c, buf[c][i],
+                               _batchProbe ? &peeked[c][i] : nullptr,
+                               nullptr);
         remaining -= n;
     }
+}
+
+bool
+System::fullFrontEligible() const
+{
+    // Running the private levels on the front-end threads is only
+    // byte-identical to serial when nothing on a private level's path
+    // can observe or mutate shared state out of order:
+    //  - non-SLIP policies only: no page-table/metadata/sampling
+    //    state on the private walk, no reuse-distance records, and
+    //    PTEs never go dirty (no evicted-PTE writebacks to reorder);
+    //  - no epoch accounting or sink (rollEpoch reads every level
+    //    mid-run) and no tracing (private-level emits would fire on
+    //    front threads, outside the run's trace binding);
+    //  - private-prefix / shared-suffix layout with at least one
+    //    level on each side of the boundary;
+    //  - no shared level inclusive (its back-invalidations reach
+    //    into other cores' private levels);
+    //  - the per-reference shared-bound writeback fan-out must fit
+    //    the descriptor: one chain per private fill of the PTE and
+    //    demand walks plus the level-0 fill chain.
+    if (_isSlip)
+        return false;
+    if (_cfg.epochIntervalRefs != 0 || _epochSink)
+        return false;
+    if (obs::traceEnabled())
+        return false;
+    const unsigned nlevels = static_cast<unsigned>(_levels.size());
+    if (_firstShared < 1 || _firstShared >= nlevels)
+        return false;
+    for (unsigned i = _firstShared; i < nlevels; ++i)
+        if (_levels[i].spec.inclusive)
+            return false;
+    if (2 * _firstShared + 2 > pipe::kMaxFrontWb)
+        return false;
+    return true;
+}
+
+void
+System::frontAccessTlb(unsigned core_id, const MemAccess &acc,
+                       pipe::FrontRef &fr)
+{
+    Core &core = *_cores[core_id];
+    if (_cfg.contextSwitchInterval &&
+        ++core.stats.accessesSinceSwitch >=
+            _cfg.contextSwitchInterval) {
+        core.tlb.flush();
+        core.stats.accessesSinceSwitch = 0;
+    }
+    fr.page = pageAddr(acc.addr);
+    fr.line = lineAddr(acc.addr);
+    if (acc.isWrite())
+        fr.flags |= pipe::kRefWrite;
+    if (!core.tlb.lookup(fr.page)) {
+        // The serial path inserts after the miss handling, but no TLB
+        // operation happens in between, so inserting here leaves the
+        // TLB in the identical state; the merge stage replays the
+        // displacement from the descriptor.
+        fr.flags |= pipe::kRefTlbMiss;
+        Addr evicted = 0;
+        if (core.tlb.insert(fr.page, evicted)) {
+            fr.flags |= pipe::kRefTlbEvict;
+            fr.evictedPage = evicted;
+        }
+    }
+}
+
+Cycles
+System::frontWalk(unsigned core_id, Addr line, const PageCtx &ctx,
+                  FrontScratch &fs, pipe::FrontRef &fr, bool demand,
+                  bool &shared_miss)
+{
+    // The private-level prefix of demandFetch / the read path of
+    // metadataAccess. Fills for the missed private levels happen
+    // before the merge stage runs the shared fills — the reverse of
+    // the serial loop — but neither side reads the other's state, and
+    // shared-bound writebacks spawned here are replayed in capture
+    // order after the shared fills, exactly where the serial
+    // recursion would have produced them.
+    const unsigned first_shared = _firstShared;
+    Cycles lat = 0;
+    unsigned hit_at = first_shared;
+    for (unsigned i = 1; i < first_shared; ++i) {
+        Level &lvl = _levels[i];
+        AccessResult r = lvl.ctrl(core_id).access(line, false, ctx,
+                                                  AccessClass::Demand);
+        if (r.hit) {
+            if (demand)
+                recordRd(ctx, lvl.slot, r.rdBin);
+            lat += r.latency;
+            hit_at = i;
+            break;
+        }
+        if (demand)
+            recordRd(ctx, lvl.slot, static_cast<int>(kNumSublevels));
+        lat += lvl.unit(core_id).topology().baselineLatency();
+    }
+    shared_miss = hit_at == first_shared;
+    for (int i = static_cast<int>(hit_at) - 1; i >= 1; --i) {
+        Level &lvl = _levels[i];
+        lvl.ctrl(core_id).fill(line, false, ctx, fs.evs[i]);
+        frontDrain(static_cast<unsigned>(i), core_id, fs, fr);
+    }
+    return lat;
+}
+
+void
+System::frontWritebackToLevel(unsigned i, unsigned core_id, Addr line,
+                              FrontScratch &fs, pipe::FrontRef &fr)
+{
+    if (i >= _firstShared) {
+        // Crossing the private/shared boundary: capture the line for
+        // the merge stage instead (fullFrontEligible bounds the count).
+        slip_assert(fr.nWb < pipe::kMaxFrontWb,
+                    "front-end writeback capture overflow");
+        fr.wb[fr.nWb++] = line;
+        return;
+    }
+    PageCtx ctx = pageCtx(pageOfLine(line));
+    ctx.collectRd = false;  // writebacks are not demand reuse
+
+    Level &lvl = _levels[i];
+    CacheLevel &unit = lvl.unit(core_id);
+    const LookupResult lr = unit.lookup(line, AccessClass::Demand);
+    if (lr.hit) {
+        unit.recordWriteback(lr.setIndex, lr.way);
+        return;
+    }
+    lvl.ctrl(core_id).fill(line, true, ctx, fs.evs[i]);
+    frontDrain(i, core_id, fs, fr);
+}
+
+void
+System::frontDrain(unsigned i, unsigned core_id, FrontScratch &fs,
+                   pipe::FrontRef &fr)
+{
+    // drainEvictions for a private level on a front-end thread:
+    // never the hierarchy's last level (a shared level follows), and
+    // every upper level is private, so the serial back-invalidation
+    // reduces to this core's units.
+    Level &lvl = _levels[i];
+    for (const Eviction &ev : fs.evs[i]) {
+        bool dirty = ev.dirty;
+        if (lvl.spec.inclusive) {
+            for (unsigned j = 0; j < i; ++j) {
+                bool d = false;
+                _levels[j].units[core_id]->invalidate(ev.lineAddr, &d);
+                dirty = dirty || d;
+                if (j == 0)
+                    touchL1Set(core_id, ev.lineAddr);
+            }
+        }
+        if (dirty)
+            frontWritebackToLevel(i + 1, core_id, ev.lineAddr, fs, fr);
+    }
+    fs.evs[i].clear();
+}
+
+void
+System::frontAccessFull(unsigned core_id, const MemAccess &acc,
+                        pipe::FrontRef &fr, FrontScratch &fs,
+                        const LookupResult *peeked)
+{
+    Core &core = *_cores[core_id];
+    Level &l0 = _levels[0];
+    CacheLevel &l1 = *l0.units[core_id];
+    LevelController &l1ctrl = *l0.ctrls[core_id];
+
+    if (_cfg.contextSwitchInterval &&
+        ++core.stats.accessesSinceSwitch >=
+            _cfg.contextSwitchInterval) {
+        core.tlb.flush();
+        core.stats.accessesSinceSwitch = 0;
+    }
+
+    fr.page = pageAddr(acc.addr);
+    fr.line = lineAddr(acc.addr);
+    if (acc.isWrite())
+        fr.flags |= pipe::kRefWrite;
+
+    Cycles lat = 0;
+    if (!core.tlb.lookup(fr.page)) {
+        fr.flags |= pipe::kRefTlbMiss;
+        if (_cfg.modelPageWalks) {
+            // Private prefix of the PTE walk (metadataAccess read
+            // path, demand class); the merge stage finishes it from
+            // the first shared level when every private level missed.
+            PageCtx mctx;
+            mctx.policies = defaultPolicies();
+            mctx.useDefault = true;
+            bool shared_miss = false;
+            lat += frontWalk(core_id, _pageTable.pteLine(fr.page),
+                             mctx, fs, fr, false, shared_miss);
+            if (shared_miss)
+                fr.flags |= pipe::kRefPteShared;
+        }
+        fr.nPteWb = fr.nWb;
+        Addr evicted = 0;
+        if (core.tlb.insert(fr.page, evicted)) {
+            fr.flags |= pipe::kRefTlbEvict;
+            fr.evictedPage = evicted;
+        }
+    }
+
+    const PageCtx ctx = pageCtx(fr.page);
+    l1.chargeEnergy(EnergyCat::Access, obs::EnergyCause::DemandHit,
+                    _l1RefPj);
+    PageCtx l1ctx;  // the innermost level is SLIP-agnostic
+    AccessResult r1;
+    if (peeked && _l1SetStamp[core_id][peeked->setIndex] !=
+                      _l1ProbeEpoch[core_id])
+        r1 = l1ctrl.accessPrepared(fr.line, acc.isWrite(), l1ctx,
+                                   AccessClass::Demand, *peeked);
+    else
+        r1 = l1ctrl.access(fr.line, acc.isWrite(), l1ctx,
+                           AccessClass::Demand);
+    if (r1.hit) {
+        fr.flags |= pipe::kRefL1Hit;
+    } else {
+        bool shared_miss = false;
+        lat += frontWalk(core_id, fr.line, ctx, fs, fr, true,
+                         shared_miss);
+        if (shared_miss)
+            fr.flags |= pipe::kRefDemandShared;
+        l1ctrl.fill(fr.line, acc.isWrite(), ctx, fs.evs[0]);
+        touchL1Set(core_id, fr.line);
+        frontDrain(0, core_id, fs, fr);
+    }
+    fr.frontLat = lat;
+}
+
+Cycles
+System::sharedWalkFill(unsigned core_id, Addr line, const PageCtx &ctx,
+                       AccessClass cls)
+{
+    // Shared-level suffix of demandFetch / metadataAccess's read
+    // path. recordRd is skipped: full-front mode implies non-SLIP,
+    // where it is a no-op. The full-miss DRAM charge matches both
+    // callers — demandFetch's access(false) returns the same latency
+    // metadataAccess adds explicitly.
+    const unsigned nlevels = static_cast<unsigned>(_levels.size());
+    Cycles lat = 0;
+    unsigned hit_at = nlevels;
+    for (unsigned i = _firstShared; i < nlevels; ++i) {
+        Level &lvl = _levels[i];
+        AccessResult r =
+            lvl.ctrl(core_id).access(line, false, ctx, cls);
+        if (r.hit) {
+            lat += r.latency;
+            hit_at = i;
+            break;
+        }
+        lat += lvl.unit(core_id).topology().baselineLatency();
+    }
+    if (hit_at == nlevels) {
+        if (cls == AccessClass::Metadata)
+            _dram.metadataAccess(kLineSize * 8);
+        else
+            _dram.access(false);
+        lat += _dram.latency();
+    }
+    const int deepest_missed =
+        hit_at == nlevels ? static_cast<int>(nlevels) - 1
+                          : static_cast<int>(hit_at) - 1;
+    for (int i = deepest_missed; i >= static_cast<int>(_firstShared);
+         --i) {
+        Level &lvl = _levels[i];
+        lvl.ctrl(core_id).fill(line, false, ctx, lvl.evs);
+        drainEvictions(static_cast<unsigned>(i), core_id);
+    }
+    return lat;
+}
+
+void
+System::mergeRef(unsigned core_id, const pipe::FrontRef &fr,
+                 bool full_front)
+{
+    if (!full_front) {
+        accessImpl(core_id, MemAccess{}, nullptr, &fr);
+        return;
+    }
+
+    // Full-front merge: the front-end already simulated the TLB and
+    // the private levels; run the shared-level portion in the exact
+    // order the serial recursion produces it — PTE shared walk, PTE
+    // writebacks, demand shared walk, demand writebacks.
+    Core &core = *_cores[core_id];
+    ++_accessTick;
+    Cycles lat = fr.frontLat;
+
+    if (fr.flags & pipe::kRefTlbMiss) {
+        perf::ScopedPhase tlb_scope(perf::Phase::Tlb);
+        // The serial path touches the PTE of every missing page (the
+        // stats dump counts pages touched) and of any TLB-evicted
+        // page; with non-SLIP policies nothing else survives — PTEs
+        // never go dirty and no distribution metadata exists.
+        _pageTable.pte(rdBlock(fr.page));
+        if (fr.flags & pipe::kRefPteShared) {
+            PageCtx mctx;
+            mctx.policies = defaultPolicies();
+            mctx.useDefault = true;
+            lat += sharedWalkFill(core_id, _pageTable.pteLine(fr.page),
+                                  mctx, AccessClass::Demand);
+        }
+        for (unsigned k = 0; k < fr.nPteWb; ++k)
+            writebackToLevel(_firstShared, core_id, fr.wb[k]);
+        if (fr.flags & pipe::kRefTlbEvict)
+            _pageTable.pte(rdBlock(fr.evictedPage));
+    }
+
+    perf::ScopedPhase walk_scope(perf::Phase::CacheWalk);
+    lat += _l1Latency;
+    if (fr.flags & pipe::kRefL1Hit) {
+        ++core.stats.l1Hits;
+    } else {
+        if (fr.flags & pipe::kRefDemandShared) {
+            const PageCtx ctx = pageCtx(fr.page);
+            lat += sharedWalkFill(core_id, fr.line, ctx,
+                                  AccessClass::Demand);
+        }
+        for (unsigned k = fr.nPteWb; k < fr.nWb; ++k)
+            writebackToLevel(_firstShared, core_id, fr.wb[k]);
+    }
+
+    ++core.stats.accesses;
+    core.stats.memStallCycles += static_cast<double>(lat - _l1Latency);
+}
+
+void
+System::runWindowPipelined(const std::vector<AccessSource *> &sources,
+                           std::uint64_t accesses_per_core,
+                           unsigned nworkers, bool full_front)
+{
+    if (accesses_per_core == 0)
+        return;
+    constexpr std::size_t kChunk = 256;
+    const unsigned ncores = static_cast<unsigned>(_cores.size());
+
+    // One SPSC ring per core. Capacity must cover at least one full
+    // chunk: a worker produces its cores' chunks back to back while
+    // the merge stage consumes index-major across all cores, so with
+    // less slack the producer could fill one queue while the consumer
+    // starves on another the same worker has not produced yet.
+    std::vector<std::unique_ptr<pipe::SpscQueue>> queues;
+    queues.reserve(ncores);
+    for (unsigned c = 0; c < ncores; ++c)
+        queues.push_back(
+            std::make_unique<pipe::SpscQueue>(2 * kChunk));
+
+    // Worker w owns cores {c : c % nworkers == w}: the front-end of
+    // each core (source, TLB, private levels) has a single owner, so
+    // per-core state needs no locking.
+    std::vector<std::thread> workers;
+    workers.reserve(nworkers);
+    for (unsigned w = 0; w < nworkers; ++w) {
+        workers.emplace_back([&, w] {
+            perf::ScopedPhase front_scope(perf::Phase::FrontEnd);
+            FrontScratch fs(_levels.size());
+            std::vector<MemAccess> buf(kChunk);
+            std::vector<Addr> lines(kChunk);
+            std::vector<LookupResult> peeked(kChunk);
+            // Full-front owns its cores' level-0 units outright, so
+            // the SoA batch probe works there like in the serial loop
+            // (per-core stamp words; no cross-thread mutators).
+            const bool probe = full_front && _batchProbe;
+            std::uint64_t remaining = accesses_per_core;
+            while (remaining > 0) {
+                const std::size_t n = static_cast<std::size_t>(
+                    std::min<std::uint64_t>(kChunk, remaining));
+                for (unsigned c = w; c < ncores; c += nworkers) {
+                    std::size_t got;
+                    {
+                        perf::ScopedPhase gen_scope(
+                            perf::Phase::WorkloadGen);
+                        got = sources[c]->nextBatch(buf.data(), n);
+                    }
+                    if (probe) {
+                        ++_l1ProbeEpoch[c];
+                        for (std::size_t i = 0; i < got; ++i)
+                            lines[i] = lineAddr(buf[i].addr);
+                        _levels[0].units[c]->peekBatch(
+                            lines.data(), got, peeked.data());
+                    }
+                    for (std::size_t i = 0; i < n; ++i) {
+                        pipe::FrontRef fr;
+                        if (i < got) {
+                            fr.flags |= pipe::kRefPresent;
+                            if (full_front)
+                                frontAccessFull(c, buf[i], fr, fs,
+                                                probe ? &peeked[i]
+                                                      : nullptr);
+                            else
+                                frontAccessTlb(c, buf[i], fr);
+                        }
+                        // Absent slots still cross the queue so the
+                        // merge stays aligned with the serial chunk
+                        // interleave when a source runs dry.
+                        queues[c]->push(fr);
+                    }
+                }
+                remaining -= n;
+            }
+        });
+    }
+
+    // Merge stage on the calling thread: pop index-major, core-minor
+    // — the serial interleave — and finish each reference.
+    {
+        perf::ScopedPhase shared_scope(perf::Phase::SharedStage);
+        pipe::FrontRef fr;
+        std::uint64_t remaining = accesses_per_core;
+        while (remaining > 0) {
+            const std::size_t n = static_cast<std::size_t>(
+                std::min<std::uint64_t>(kChunk, remaining));
+            for (std::size_t i = 0; i < n; ++i) {
+                for (unsigned c = 0; c < ncores; ++c) {
+                    queues[c]->pop(fr);
+                    if (fr.flags & pipe::kRefPresent)
+                        mergeRef(c, fr, full_front);
+                }
+            }
+            remaining -= n;
+        }
+    }
+
+    for (auto &t : workers)
+        t.join();
 }
 
 CacheLevelStats

@@ -35,6 +35,7 @@
 #include "rd/metadata_store.hh"
 #include "rd/sampling.hh"
 #include "sim/hierarchy.hh"
+#include "sim/pipeline.hh"
 #include "sim/policy_kind.hh"
 #include "slip/eou.hh"
 #include "tlb/page_table.hh"
@@ -122,6 +123,19 @@ struct SystemConfig
      * changes simulation outcomes.
      */
     std::uint64_t epochIntervalRefs = 0;
+
+    /**
+     * Worker threads for one System::run (1 = classic serial loop).
+     * With N > 1, each core's front-end (workload generation, TLB,
+     * and — when the layout allows — the private cache levels) runs
+     * on one of N-1 worker threads feeding the shared-level stage on
+     * the calling thread through bounded SPSC queues; a deterministic
+     * round-robin merge keeps the result byte-identical to serial for
+     * any value (DESIGN.md §Intra-run parallelism). Like
+     * epochIntervalRefs, deliberately excluded from sweep cache keys:
+     * the thread count never changes simulation outcomes.
+     */
+    unsigned runThreads = 1;
 
     std::uint64_t seed = 1;
 
@@ -336,12 +350,91 @@ class System
         }
     };
 
+    /**
+     * Per-worker scratch for full-front pipelined runs: private
+     * levels' eviction lists. The serial path reuses Level::evs, but
+     * a front-end thread draining its core's private levels must not
+     * share that scratch with the merge stage draining the shared
+     * levels concurrently.
+     */
+    struct FrontScratch
+    {
+        std::vector<std::vector<Eviction>> evs;  ///< per level
+
+        explicit FrontScratch(std::size_t nlevels) : evs(nlevels) {}
+    };
+
     /** TLB miss: walk, state transition, metadata fetch, EOU. */
     Cycles handleTlbMiss(unsigned core_id, Core &core, Addr page);
+
+    /** handleTlbMiss up to (excluding) the TLB insert: PTE creation,
+     * page walk, sampling transition, metadata fetch, EOU. */
+    Cycles tlbMissShared(unsigned core_id, Addr page);
+
+    /** handleTlbMiss after the TLB insert displaced @p evicted:
+     * distribution/PTE writebacks for the evicted page. */
+    void tlbEvictShared(unsigned core_id, Addr evicted);
 
     /** One measurement window of run(): chunked pull + interleave. */
     void runWindow(const std::vector<AccessSource *> &sources,
                    std::uint64_t accesses_per_core);
+
+    /** The access() body, with the context-switch check and the TLB
+     * already handled when @p fr is set (pipelined merge stage), and
+     * an optional pre-computed level-0 probe from peekBatch. */
+    void accessImpl(unsigned core_id, const MemAccess &acc,
+                    const LookupResult *peeked,
+                    const pipe::FrontRef *fr);
+
+    // ------------------------------------------------------------------
+    // Pipelined run (--run-threads > 1; DESIGN.md §Intra-run
+    // parallelism). TLB-front mode works for every configuration;
+    // full-front mode additionally runs the private levels on the
+    // front-end threads when fullFrontEligible() holds.
+    // ------------------------------------------------------------------
+
+    /** Layout/feature gate for running private levels in the
+     * front-end (see the implementation for the exact conditions). */
+    bool fullFrontEligible() const;
+
+    /** runWindow split into per-core front-ends + a merge stage. */
+    void runWindowPipelined(const std::vector<AccessSource *> &sources,
+                            std::uint64_t accesses_per_core,
+                            unsigned nworkers, bool full_front);
+
+    /** Front-end of one reference: context switch + TLB only. */
+    void frontAccessTlb(unsigned core_id, const MemAccess &acc,
+                        pipe::FrontRef &fr);
+
+    /** Front-end of one reference incl. the private-level walks,
+     * with an optional pre-computed level-0 probe. */
+    void frontAccessFull(unsigned core_id, const MemAccess &acc,
+                         pipe::FrontRef &fr, FrontScratch &fs,
+                         const LookupResult *peeked);
+
+    /** Merge-stage completion of one front-end reference. */
+    void mergeRef(unsigned core_id, const pipe::FrontRef &fr,
+                  bool full_front);
+
+    /** Private-level portion of demandFetch / the PTE walk; on an
+     * all-private miss the caller forwards to sharedWalkFill. */
+    Cycles frontWalk(unsigned core_id, Addr line, const PageCtx &ctx,
+                     FrontScratch &fs, pipe::FrontRef &fr,
+                     bool demand, bool &shared_miss);
+
+    /** writebackToLevel over private levels, capturing shared-bound
+     * lines into @p fr instead of crossing the boundary. */
+    void frontWritebackToLevel(unsigned i, unsigned core_id, Addr line,
+                               FrontScratch &fs, pipe::FrontRef &fr);
+
+    /** drainEvictions for private level @p i on a front-end thread. */
+    void frontDrain(unsigned i, unsigned core_id, FrontScratch &fs,
+                    pipe::FrontRef &fr);
+
+    /** Shared-level suffix of demandFetch/metadataAccess: walk levels
+     * [firstShared, N) down to DRAM with fills on the way back. */
+    Cycles sharedWalkFill(unsigned core_id, Addr line,
+                          const PageCtx &ctx, AccessClass cls);
 
     /** Close the current epoch: record ledger deltas, emit the event. */
     void rollEpoch();
@@ -382,6 +475,16 @@ class System
     Cycles metadataAccess(unsigned core_id, Addr line, bool is_write,
                           AccessClass cls);
 
+    /** Mark level-0 unit @p u's set holding @p line as mutated since
+     * the current chunk's batch probe (batch-probe staleness). */
+    void
+    touchL1Set(unsigned u, Addr line)
+    {
+        if (_batchProbe)
+            _l1SetStamp[u][_levels[0].units[u]->setIndex(line)] =
+                _l1ProbeEpoch[u];
+    }
+
     SystemConfig _cfg;
 
     // Immutable-config values hoisted out of the per-access path.
@@ -390,6 +493,24 @@ class System
     double _l1RefPj;         ///< l1HitsPerMiss * l1AccessPj
     unsigned _rdBlockPages;
     Cycles _l1Latency = 4;   ///< level 0 baseline latency
+
+    // SoA batch tag probes: the run loop pre-probes each chunk's
+    // level-0 lookups in one vectorizable pass (CacheLevel::peekBatch)
+    // and replays the side effects per reference via accessPrepared.
+    // A probe is discarded when its set was mutated after the probe:
+    // every level-0 tag/valid mutation stamps the set with the current
+    // probe epoch (touchL1Set), and a reference whose set carries the
+    // current epoch falls back to a normal lookup. The epoch bumps
+    // once per chunk; a wrapped stamp aliases to "stale", which is
+    // merely conservative. Enabled only when the level-0 controller
+    // consumes prepared probes (BaselineController).
+    bool _batchProbe = false;
+    std::vector<std::vector<std::uint32_t>> _l1SetStamp;  ///< [unit][set]
+    std::vector<std::uint32_t> _l1ProbeEpoch;             ///< [unit]
+
+    /** First shared level index (== numLevels() when none is shared
+     * or a private level sits below a shared one). */
+    unsigned _firstShared = 0;
 
     std::vector<Level> _levels;  ///< [0] = innermost
     std::vector<unsigned> _slipLevels;  ///< level index per RD slot

@@ -88,6 +88,9 @@ makeConfig(PolicyKind policy, const SweepOptions &opts, unsigned cores)
     cfg.randomSublevelVictim = opts.randomSublevelVictim;
     cfg.hierarchy = opts.hierarchy;
     cfg.numCores = cores;
+    // Execution strategy, not configuration: any thread count yields
+    // byte-identical stats, so runThreads stays out of the cache key.
+    cfg.runThreads = opts.runThreads;
     // Observation settings live outside the spec (and its cache key):
     // epoch accounting reads simulation state but never changes it.
     const obs::RunObservation watch = obs::runObservation();

@@ -33,6 +33,10 @@ SweepOptions::SweepOptions() : tech(tech45nm())
 {
     refs = envU64("SLIP_BENCH_REFS", 1'500'000);
     warmup = envU64("SLIP_BENCH_WARMUP", refs);
+    runThreads = static_cast<unsigned>(
+        envU64("SLIP_RUN_THREADS", 1));
+    if (runThreads == 0)
+        runThreads = 1;
 }
 
 std::string

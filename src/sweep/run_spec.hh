@@ -7,6 +7,9 @@
  * Environment knobs (read once per SweepOptions construction):
  *   SLIP_BENCH_REFS   measured references per run (default 1500000)
  *   SLIP_BENCH_WARMUP warm-up references (default = SLIP_BENCH_REFS)
+ *   SLIP_RUN_THREADS  intra-run pipeline threads per simulation
+ *                     (default 1 = serial; results are byte-identical
+ *                     for any value, so it is not part of cache keys)
  */
 
 #ifndef SLIP_SWEEP_RUN_SPEC_HH
@@ -50,6 +53,13 @@ struct SweepOptions
      * programmatic config hash to the same cache entry.
      */
     HierarchySpec hierarchy;
+    /**
+     * Threads used *inside* one simulation (pipelined front-end
+     * sharding; see System::runWindowPipelined). Purely an execution
+     * strategy: stats are byte-identical for any value, so — like the
+     * observation settings — it is deliberately excluded from key().
+     */
+    unsigned runThreads = 1;
 
     SweepOptions();  // reads the environment knobs
 

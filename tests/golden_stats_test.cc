@@ -63,10 +63,12 @@ fnv1a(const std::string &s)
 }
 
 std::string
-simulate(const std::string &benchmark, PolicyKind policy)
+simulate(const std::string &benchmark, PolicyKind policy,
+         unsigned run_threads = 1)
 {
     SystemConfig cfg;
     cfg.policy = policy;
+    cfg.runThreads = run_threads;
     auto w = makeSpecWorkload(benchmark);
     System sys(cfg);
     sys.run({w.get()}, kGoldenRefs, kGoldenWarmup);
@@ -138,6 +140,14 @@ TEST_P(GoldenStatsTest, MatchesFixture)
         << "  fixture fnv1a: " << std::hex << fnv1a(want) << "\n"
         << "  output  fnv1a: " << fnv1a(got) << std::dec << "\n"
         << readableDiff(want, got);
+
+    // The pipelined run (--run-threads) is an execution strategy, not
+    // a configuration: every fixture must also hold at 4 threads.
+    const std::string piped = simulate(benchmark, policy, 4);
+    EXPECT_EQ(want, piped)
+        << "run_threads=4 diverged from the serial dump for " << path
+        << "\n"
+        << readableDiff(want, piped);
 }
 
 std::vector<std::tuple<std::string, PolicyKind>>

@@ -9,15 +9,19 @@
  *  - per-level hits + misses equal accesses (and the per-sublevel
  *    splits sum to the level totals),
  *  - an inclusive L3 never leaves an L1/L2 line without an L3 copy,
- *  - sweep results are identical for any --jobs value.
+ *  - sweep results are identical for any --jobs value,
+ *  - one simulation is byte-identical for any --run-threads value.
  */
 
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <memory>
+#include <sstream>
 #include <string>
 #include <vector>
 
+#include "sim/stats_dump.hh"
 #include "sim/system.hh"
 #include "sweep/sweep_runner.hh"
 #include "workloads/spec_suite.hh"
@@ -189,6 +193,132 @@ TEST(MetamorphicJobsTest, ResultsIdenticalForAnyJobsValue)
             for (std::size_t i = 0; i < specs.size(); ++i)
                 EXPECT_EQ(reference[i], serialized[i])
                     << specs[i].label() << " diverged at jobs=" << jobs;
+        }
+    }
+}
+
+/** Full stats dump of one run of @p cfg at @p run_threads. */
+std::string
+dumpAtThreads(SystemConfig cfg, unsigned run_threads,
+              const std::vector<std::string> &benchmarks)
+{
+    cfg.runThreads = run_threads;
+    System sys(cfg);
+    std::vector<std::unique_ptr<AccessSource>> owned;
+    std::vector<AccessSource *> sources;
+    for (unsigned c = 0; c < cfg.numCores; ++c) {
+        const std::string &b =
+            benchmarks.size() == 1 ? benchmarks[0] : benchmarks[c];
+        owned.push_back(makeMixSource(b, c));
+        sources.push_back(owned.back().get());
+    }
+    sys.run(sources, kRefs, kWarmup);
+    std::ostringstream os;
+    dumpStats(sys, os);
+    return os.str();
+}
+
+/** The classic private-L1 front levels of canonicalScenarios'
+ *  hier2_flat_llc, spelled programmatically. */
+LevelSpec
+privateLevel(const char *name, std::size_t size_kb, unsigned ways,
+             const char *energy)
+{
+    LevelSpec l;
+    l.name = name;
+    l.sizeBytes = size_kb * 1024;
+    l.ways = ways;
+    l.isPrivate = true;
+    l.inclusive = Tri::Off;
+    l.policy = "baseline";
+    l.energy = energy;
+    l.latency = 4;
+    const unsigned q = ways / 4;
+    l.sublevelWays = {q, q, ways - 2 * q};
+    l.waysPerRow = q;
+    return l;
+}
+
+/**
+ * One simulation must be byte-identical for any intra-run thread
+ * count, across both pipeline modes (TLB-only front end for SLIP and
+ * inclusive hierarchies; full private-walk front end for baseline
+ * ones) and 2-/3-/4-level shapes.
+ */
+TEST(MetamorphicRunThreadsTest, DumpIdenticalForAnyThreadCount)
+{
+    struct Case
+    {
+        const char *what;
+        SystemConfig cfg;
+        std::vector<std::string> benchmarks;
+    };
+    std::vector<Case> cases;
+
+    {
+        // 3-level SLIP, one core: the TLB-front pipeline mode.
+        Case c{"slip_3level_1core", SystemConfig{}, {"soplex"}};
+        c.cfg.policy = PolicyKind::Slip;
+        cases.push_back(c);
+    }
+    {
+        // 3-level baseline, four cores: the full-front pipeline mode
+        // with private L1+L2 walks on the worker threads.
+        Case c{"baseline_3level_4cores", SystemConfig{}, {"soplex"}};
+        c.cfg.policy = PolicyKind::Baseline;
+        c.cfg.numCores = 4;
+        cases.push_back(c);
+    }
+    {
+        // Inclusive LLC forces the TLB-front mode (back-invalidations
+        // reach into the private levels) on a two-core mix.
+        Case c{"slip_abp_inclusive_2cores", SystemConfig{},
+               {"soplex", "mcf"}};
+        c.cfg.policy = PolicyKind::SlipAbp;
+        c.cfg.inclusiveL3 = true;
+        c.cfg.numCores = 2;
+        cases.push_back(c);
+    }
+    {
+        // 2-level baseline: the shortest full-front hierarchy.
+        Case c{"baseline_2level_2cores", SystemConfig{},
+               {"mcf", "lbm"}};
+        c.cfg.policy = PolicyKind::Baseline;
+        c.cfg.numCores = 2;
+        c.cfg.hierarchy.levels.push_back(
+            privateLevel("l1", 32, 8, "l1"));
+        LevelSpec llc;
+        llc.name = "llc";
+        llc.sizeBytes = 1024 * 1024;
+        llc.ways = 16;
+        llc.isPrivate = false;
+        llc.energy = "l3";
+        c.cfg.hierarchy.levels.push_back(llc);
+        cases.push_back(c);
+    }
+    {
+        // 4-level with SLIP at L2 and the LLC (hier4_deep's shape):
+        // multiple SLIP levels in the TLB-front mode.
+        Case c{"slip_4level_1core", SystemConfig{}, {"soplex"}};
+        c.cfg.policy = PolicyKind::Baseline;
+        c.cfg.hierarchy = HierarchySpec::classic();
+        c.cfg.hierarchy.levels[1].policy = "slip";
+        LevelSpec l3 = privateLevel("l3", 1024, 16, "l2");
+        c.cfg.hierarchy.levels.insert(
+            c.cfg.hierarchy.levels.begin() + 2, l3);
+        c.cfg.hierarchy.levels[3].name = "l4";
+        c.cfg.hierarchy.levels[3].policy = "slip";
+        c.cfg.hierarchy.levels[3].sizeBytes = 4 * 1024 * 1024;
+        cases.push_back(c);
+    }
+
+    for (const Case &c : cases) {
+        SCOPED_TRACE(c.what);
+        const std::string serial = dumpAtThreads(c.cfg, 1, c.benchmarks);
+        for (unsigned threads : {2u, 4u}) {
+            EXPECT_EQ(serial, dumpAtThreads(c.cfg, threads,
+                                            c.benchmarks))
+                << c.what << " diverged at run_threads=" << threads;
         }
     }
 }
