@@ -4,6 +4,7 @@
 #include <bit>
 #include <cctype>
 
+#include "util/check.hh"
 #include "util/logging.hh"
 
 namespace slip {
@@ -142,6 +143,15 @@ CacheLevel::peekBatch(const Addr *lines, std::size_t n,
             res.hit = true;
             res.way = way;
         }
+        // Contract (see the header): position-identical to peek().
+        SLIP_CHECK_EXPENSIVE(
+            const LookupResult ref = peek(line);
+            SLIP_CHECK_MSG(res.hit == ref.hit &&
+                               res.setIndex == ref.setIndex &&
+                               (!ref.hit || res.way == ref.way),
+                           "peekBatch diverges from peek() for line "
+                           "%llx",
+                           static_cast<unsigned long long>(line)));
         out[i] = res;
     }
 }
@@ -366,6 +376,7 @@ CacheLevel::evictLine(unsigned set, unsigned way)
     }
     ln.invalidate();
     syncShadow(set, way);
+    SLIP_CHECK(!peek(ev.lineAddr).hit);
     return ev;
 }
 
@@ -385,6 +396,7 @@ CacheLevel::invalidate(Addr line, bool *was_dirty)
     ++_stats.reuseHistogram[std::min<std::uint32_t>(ln.hitCount, 3)];
     ln.invalidate();
     syncShadow(res.setIndex, res.way);
+    SLIP_CHECK(!peek(line).hit);
     ++_stats.invalidations;
     _ctrInvalidations->add();
     return true;

@@ -31,6 +31,7 @@
 #include "obs/energy_ledger.hh"
 #include "obs/metrics.hh"
 #include "util/bitops.hh"
+#include "util/check.hh"
 
 namespace slip {
 
@@ -339,6 +340,10 @@ class CacheLevel
     void
     chargeEnergy(EnergyCat cat, obs::EnergyCause cause, double pj)
     {
+        // Golden accumulators are monotone; a negative charge would
+        // silently desynchronize them from the epoch-series deltas.
+        SLIP_CHECK_MSG(pj >= 0.0 && pj == pj,
+                       "negative or NaN energy charge (%f pJ)", pj);
         _stats.energyPj[static_cast<unsigned>(cat)] += pj;
         if (obs::metricsEnabled())
             obs::ledgerAdd(_stats.causePj, cause, pj);

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "util/bitops.hh"
+#include "util/check.hh"
 
 namespace slip {
 
@@ -300,6 +301,16 @@ resolveHierarchy(const HierarchySpec &spec, const HierarchyDefaults &defs,
             positionalSeed(i, h.levels.size(), r.seedMul, r.seedAdd);
         out.push_back(std::move(r));
     }
+    // Post-resolution contract: validate() vetted the spec, and every
+    // default applied above must leave each level fully specified.
+    SLIP_CHECK(out.size() == h.levels.size());
+    SLIP_CHECK_EXPENSIVE(
+        for (const ResolvedLevel &rl : out)
+            SLIP_CHECK_MSG(!rl.name.empty() && rl.sizeBytes > 0 &&
+                               rl.ways > 0 && rl.seedMul != 0 &&
+                               !rl.policy.empty(),
+                           "resolved level '%s' under-specified",
+                           rl.name.c_str()));
     if (err)
         err->clear();
     return out;

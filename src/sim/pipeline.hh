@@ -29,6 +29,7 @@
 
 #include "mem/types.hh"
 #include "perf/perf_counters.hh"
+#include "util/check.hh"
 #include "util/logging.hh"
 
 namespace slip {
@@ -96,7 +97,11 @@ class SpscQueue
   public:
     explicit SpscQueue(std::size_t capacity = 1024)
         : _ring(roundUpPow2(capacity)), _mask(_ring.size() - 1)
-    {}
+    {
+        SLIP_CHECK_MSG((_ring.size() & (_ring.size() - 1)) == 0,
+                       "SPSC ring size not a power of two");
+        SLIP_CHECK(_ring.size() >= capacity);
+    }
 
     void
     push(const FrontRef &r)
@@ -108,6 +113,12 @@ class SpscQueue
             if (tail - _headCache >= _ring.size())
                 waitNotFull(tail);
         }
+        // Single-producer discipline: after the not-full wait the
+        // producer-visible occupancy must leave room for this slot, and
+        // the consumer can never have advanced past the producer.
+        SLIP_CHECK_MSG(tail - _headCache < _ring.size(),
+                       "SPSC push into a full ring (occupancy %llu)",
+                       static_cast<unsigned long long>(tail - _headCache));
         _ring[tail & _mask] = r;
         _tail.store(tail + 1, std::memory_order_release);
     }
@@ -122,6 +133,12 @@ class SpscQueue
             if (head == _tailCache)
                 waitNotEmpty(head);
         }
+        // Single-consumer discipline: the slot being read must lie in
+        // [head, tail) and the producer can be at most a full ring ahead.
+        SLIP_CHECK_MSG(_tailCache - head >= 1 &&
+                           _tailCache - head <= _ring.size(),
+                       "SPSC pop ordering violated (backlog %llu)",
+                       static_cast<unsigned long long>(_tailCache - head));
         out = _ring[head & _mask];
         _head.store(head + 1, std::memory_order_release);
     }

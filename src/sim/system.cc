@@ -1,10 +1,13 @@
 #include "sim/system.hh"
 
 #include <algorithm>
+#include <cmath>
 
+#include "obs/metrics.hh"
 #include "obs/trace.hh"
 #include "perf/perf_counters.hh"
 #include "sim/policy_registry.hh"
+#include "util/check.hh"
 #include "util/logging.hh"
 
 namespace slip {
@@ -168,6 +171,23 @@ System::System(const SystemConfig &cfg)
         for (std::size_t u = 0; u < _levels[0].units.size(); ++u)
             _l1SetStamp[u].assign(_levels[0].units[u]->numSets(), 0);
     }
+
+    // Post-construction hierarchy sanity (resolveHierarchy validated
+    // the spec; these state what the built System relies on).
+    SLIP_CHECK(_slipLevels.size() <= kMaxSlipLevels);
+    SLIP_CHECK(_eous.size() == _slipLevels.size());
+    SLIP_CHECK(_firstShared <= _levels.size());
+    SLIP_CHECK_EXPENSIVE(
+        if (_firstShared < _levels.size())
+            for (unsigned i = 0; i < _levels.size(); ++i)
+                SLIP_CHECK_MSG(_levels[i].spec.shared ==
+                                   (i >= _firstShared),
+                               "level %u breaks the private-prefix / "
+                               "shared-suffix boundary at %u", i,
+                               _firstShared));
+    SLIP_CHECK(!_batchProbe ||
+               (_l1ProbeEpoch.size() == _levels[0].units.size() &&
+                _l1SetStamp.size() == _levels[0].units.size()));
 }
 
 System::~System() = default;
@@ -473,6 +493,23 @@ System::drainEvictions(unsigned i, unsigned core_id)
                         touchL1Set(core_id, ev.lineAddr);
                 }
             }
+            // Inclusivity post-condition: no copy remains in any unit
+            // the sweep above was responsible for.
+            SLIP_CHECK_EXPENSIVE(
+                for (unsigned j = 0; j < i; ++j) {
+                    const Level &upper = _levels[j];
+                    if (upper.spec.shared) {
+                        SLIP_CHECK(!upper.units[0]->peek(ev.lineAddr)
+                                        .hit);
+                    } else if (lvl.spec.shared) {
+                        for (const auto &unit : upper.units)
+                            SLIP_CHECK(!unit->peek(ev.lineAddr).hit);
+                    } else {
+                        SLIP_CHECK(!upper.units[core_id]
+                                        ->peek(ev.lineAddr)
+                                        .hit);
+                    }
+                });
         }
         if (dirty) {
             if (last)
@@ -547,10 +584,19 @@ System::accessImpl(unsigned core_id, const MemAccess &acc,
     PageCtx l1ctx;  // the innermost level is SLIP-agnostic
     AccessResult r1;
     if (peeked &&
-        _l1SetStamp[u0][peeked->setIndex] != _l1ProbeEpoch[u0])
+        _l1SetStamp[u0][peeked->setIndex] != _l1ProbeEpoch[u0]) {
+        // Stamp-staleness protocol: a consumed batch probe must still
+        // match what a fresh tag scan of the set would return.
+        SLIP_CHECK_EXPENSIVE(
+            const LookupResult fresh = l1.peek(line);
+            SLIP_CHECK_MSG(fresh.hit == peeked->hit &&
+                               fresh.setIndex == peeked->setIndex &&
+                               (!fresh.hit || fresh.way == peeked->way),
+                           "stale batch probe consumed for line %llx",
+                           static_cast<unsigned long long>(line)));
         r1 = l1ctrl.accessPrepared(line, is_write, l1ctx,
                                    AccessClass::Demand, *peeked);
-    else
+    } else
         r1 = l1ctrl.access(line, is_write, l1ctx, AccessClass::Demand);
     lat += _l1Latency;
     if (r1.hit) {
@@ -599,10 +645,17 @@ System::rollEpoch()
         for (const auto &unit : _levels[i].units)
             hits += unit->stats().demandHits;
 
+        // The epoch deltas subtract monotone accumulators; a backwards
+        // step means a stats reset raced the epoch bases.
+        SLIP_CHECK_MSG(hits >= _epochLvlHitsBase[i - 1],
+                       "level %u demand-hit counter went backwards "
+                       "across an epoch", i);
         obs::LevelEpoch le;
         le.name = _levels[i].spec.name;
-        for (std::size_t c = 0; c < obs::kNumEnergyCauses; ++c)
+        for (std::size_t c = 0; c < obs::kNumEnergyCauses; ++c) {
+            SLIP_CHECK(ledger[c] >= _epochLvlBase[i - 1][c]);
             le.pj[c] = ledger[c] - _epochLvlBase[i - 1][c];
+        }
         le.demandHits = hits - _epochLvlHitsBase[i - 1];
         hits_delta_sum += le.demandHits;
         rec.levels.push_back(std::move(le));
@@ -639,6 +692,10 @@ System::run(const std::vector<AccessSource *> &sources,
     // covers every emit in both modes.
     obs::RunTraceScope trace_scope(_tracePid, &_accessTick);
 
+    // The ledger-sums check below only holds when the cause bins were
+    // live for every chargeEnergy in the measured window.
+    [[maybe_unused]] const bool metrics_on = obs::metricsEnabled();
+
     const unsigned nthreads = std::max(1u, _cfg.runThreads);
     if (nthreads > 1) {
         const unsigned nworkers =
@@ -659,6 +716,31 @@ System::run(const std::vector<AccessSource *> &sources,
     // the measured window.
     if (_cfg.epochIntervalRefs != 0 && _epochAccesses > 0)
         rollEpoch();
+
+    // Energy attribution contract: with metrics on, every pJ entering
+    // a golden energyPj accumulator was paired with a ledger cause-bin
+    // add (CacheLevel::chargeEnergy), so per level the cause bins must
+    // sum to the golden total. Skipped if metrics were off at either
+    // end of the run — the bins would legitimately lag the totals.
+    SLIP_CHECK_EXPENSIVE(
+        if (metrics_on && obs::metricsEnabled()) {
+            for (unsigned i = 0; i < numLevels(); ++i) {
+                const CacheLevelStats s = combinedLevelStats(i);
+                double golden = 0.0;
+                for (unsigned k = 0; k < s.energyPj.size(); ++k)
+                    golden += s.energyPj[k];
+                const double attributed = obs::ledgerTotal(s.causePj);
+                const double tol =
+                    1e-9 * std::max(1.0, std::max(std::abs(golden),
+                                                  std::abs(attributed)));
+                SLIP_CHECK_MSG(std::abs(golden - attributed) <= tol,
+                               "level %u ledger cause bins (%.6f pJ) do "
+                               "not sum to the golden energy total "
+                               "(%.6f pJ)", i, attributed, golden);
+            }
+        });
+    // Full shadow-array / tag-store consistency sweep over every unit.
+    SLIP_CHECK_EXPENSIVE(checkInvariants());
 }
 
 void
@@ -866,6 +948,12 @@ System::frontDrain(unsigned i, unsigned core_id, FrontScratch &fs,
                 if (j == 0)
                     touchL1Set(core_id, ev.lineAddr);
             }
+            SLIP_CHECK_EXPENSIVE(
+                for (unsigned j = 0; j < i; ++j)
+                    SLIP_CHECK(!_levels[j]
+                                    .units[core_id]
+                                    ->peek(ev.lineAddr)
+                                    .hit));
         }
         if (dirty)
             frontWritebackToLevel(i + 1, core_id, ev.lineAddr, fs, fr);
@@ -925,10 +1013,17 @@ System::frontAccessFull(unsigned core_id, const MemAccess &acc,
     PageCtx l1ctx;  // the innermost level is SLIP-agnostic
     AccessResult r1;
     if (peeked && _l1SetStamp[core_id][peeked->setIndex] !=
-                      _l1ProbeEpoch[core_id])
+                      _l1ProbeEpoch[core_id]) {
+        SLIP_CHECK_EXPENSIVE(
+            const LookupResult fresh = l1.peek(fr.line);
+            SLIP_CHECK_MSG(fresh.hit == peeked->hit &&
+                               fresh.setIndex == peeked->setIndex &&
+                               (!fresh.hit || fresh.way == peeked->way),
+                           "stale batch probe consumed for line %llx",
+                           static_cast<unsigned long long>(fr.line)));
         r1 = l1ctrl.accessPrepared(fr.line, acc.isWrite(), l1ctx,
                                    AccessClass::Demand, *peeked);
-    else
+    } else
         r1 = l1ctrl.access(fr.line, acc.isWrite(), l1ctx,
                            AccessClass::Demand);
     if (r1.hit) {
@@ -1001,6 +1096,9 @@ System::mergeRef(unsigned core_id, const pipe::FrontRef &fr,
     // the private levels; run the shared-level portion in the exact
     // order the serial recursion produces it — PTE shared walk, PTE
     // writebacks, demand shared walk, demand writebacks.
+    SLIP_CHECK_MSG(fr.nPteWb <= fr.nWb && fr.nWb <= pipe::kMaxFrontWb,
+                   "merge descriptor writeback counts out of range "
+                   "(%u pte, %u total)", fr.nPteWb, fr.nWb);
     Core &core = *_cores[core_id];
     ++_accessTick;
     Cycles lat = fr.frontLat;

@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "obs/metrics.hh"
+#include "util/check.hh"
 #include "util/fixed_point.hh"
 #include "util/logging.hh"
 
@@ -65,6 +66,11 @@ Eou::optimize(const std::uint8_t *bins)
     }
     slip_assert(best_e != std::numeric_limits<std::uint64_t>::max(),
                 "no candidate policy evaluated");
+    // The winner must be a real enumerated code and must respect the
+    // ABP exclusion (an inclusive level never fully bypasses).
+    SLIP_CHECK(best < _coeffs.size());
+    SLIP_CHECK_MSG(_allowAbp || best != SlipPolicy::kAbpCode,
+                   "EOU chose the ABP for an ABP-excluded level");
     ++_choices[best];
     code_hist.record(best);
     return best;

@@ -9,6 +9,7 @@
 
 #include <unistd.h>
 
+#include "util/check.hh"
 #include "util/logging.hh"
 
 namespace slip {
@@ -91,6 +92,14 @@ ResultCache::store(const std::string &key, const RunResult &r) const
         std::filesystem::remove(tmp_path, ec);
         return;
     }
+    // Serialization round-trip: what was just stored must parse back,
+    // else every later lookup of this key degrades to a miss.
+    SLIP_CHECK_EXPENSIVE(
+        RunResult reread;
+        std::ifstream is(final_path);
+        SLIP_CHECK_MSG(is && parseRunResult(is, reread),
+                       "sweep cache: stored entry %s does not parse "
+                       "back", final_path.c_str()));
     _counters->stores.fetch_add(1, std::memory_order_relaxed);
 }
 

@@ -27,6 +27,7 @@
 
 #include "mem/types.hh"
 #include "obs/metrics.hh"
+#include "util/check.hh"
 #include "util/logging.hh"
 
 namespace slip {
@@ -99,6 +100,12 @@ class Tlb
         _slots[i].idx = static_cast<std::uint32_t>(_entPage.size());
         _entPage.push_back(page);
         _entStamp.push_back(++_clock);
+        // Capacity and slot/packed-array coherence: the resident set
+        // never exceeds the configured entries, and the page's slot
+        // points back at its packed record.
+        SLIP_CHECK(_entPage.size() <= _entries &&
+                   _entPage.size() == _entStamp.size());
+        SLIP_CHECK_EXPENSIVE(checkCoherent());
         return evict;
     }
 
@@ -143,6 +150,31 @@ class Tlb
 
   private:
     static constexpr std::uint32_t kAbsent = ~std::uint32_t{0};
+
+    /**
+     * Full slot-table / packed-array coherence (checked builds only):
+     * every packed entry's slot maps back to it, stamps are unique by
+     * construction (strictly increasing clock), and the number of
+     * occupied slots matches the resident count.
+     */
+    void
+    checkCoherent() const
+    {
+        for (std::uint32_t e = 0;
+             e < static_cast<std::uint32_t>(_entPage.size()); ++e) {
+            const std::size_t i = probe(_entPage[e]);
+            SLIP_CHECK_MSG(_slots[i].idx == e &&
+                               _slots[i].page == _entPage[e],
+                           "TLB slot/packed-array mismatch for page "
+                           "%llx",
+                           static_cast<unsigned long long>(_entPage[e]));
+            SLIP_CHECK(_entStamp[e] <= _clock);
+        }
+        std::size_t occupied = 0;
+        for (const Slot &s : _slots)
+            occupied += s.idx != kAbsent ? 1 : 0;
+        SLIP_CHECK(occupied == _entPage.size());
+    }
 
     struct Slot
     {

@@ -217,6 +217,14 @@ namespace {
 
 struct Parser
 {
+    /**
+     * Recursion ceiling for nested arrays/objects. parseValue recurses
+     * per nesting level, so without a cap adversarial input like
+     * "[[[[..." overflows the stack; 256 is far beyond any document
+     * the project emits (stats dumps nest < 10 deep).
+     */
+    static constexpr unsigned kMaxDepth = 256;
+
     const char *p;
     const char *end;
     std::string err;
@@ -308,11 +316,13 @@ struct Parser
         return true;
     }
 
-    bool parseValue(Value &out)
+    bool parseValue(Value &out, unsigned depth = 0)
     {
         skipWs();
         if (p >= end)
             return fail("unexpected end of input");
+        if (depth > kMaxDepth)
+            return fail("nesting too deep");
         switch (*p) {
           case 'n':
             if (!literal("null"))
@@ -346,7 +356,7 @@ struct Parser
               }
               while (true) {
                   Value elem;
-                  if (!parseValue(elem))
+                  if (!parseValue(elem, depth + 1))
                       return false;
                   out.push(std::move(elem));
                   skipWs();
@@ -378,7 +388,7 @@ struct Parser
                   if (p >= end || *p != ':')
                       return fail("expected ':'");
                   ++p;
-                  if (!parseValue(out[key]))
+                  if (!parseValue(out[key], depth + 1))
                       return false;
                   skipWs();
                   if (p < end && *p == ',') {

@@ -87,6 +87,75 @@ TEST(JsonTest, ParseRejectsMalformedInput)
     EXPECT_FALSE(err.empty());
 }
 
+// Parser edge cases, table-driven: every malformed document must be
+// rejected (with a non-empty diagnostic), never crash or mis-parse.
+TEST(JsonTest, ParseRejectsEdgeCaseInputs)
+{
+    struct Case
+    {
+        const char *name;
+        std::string text;
+    };
+    const Case cases[] = {
+        // Malformed / truncated escapes.
+        {"bad escape letter", R"("a\q")"},
+        {"escape at end of input", "\"abc\\"},
+        {"truncated \\u escape", R"("\u12")"},
+        {"non-hex \\u digits", R"("\uZZZZ")"},
+        {"unterminated string", "\"abc"},
+        // Truncated documents.
+        {"lone minus", "-"},
+        {"truncated literal", "tru"},
+        {"truncated object key", "{\"a"},
+        {"object missing colon", R"({"a" 1})"},
+        {"object missing value", R"({"a":})"},
+        {"array missing separator", "[1 2]"},
+        {"unclosed array", "[1, 2"},
+        // Structural garbage.
+        {"bare key", "a: 1"},
+        {"two top-level values", "1 2"},
+        {"comma only", ","},
+        // Nesting past the recursion ceiling (stack-overflow guard).
+        {"deep array nesting", std::string(100000, '[')},
+        {"deep object nesting", [] {
+             std::string s;
+             for (int i = 0; i < 100000; ++i)
+                 s += "{\"k\":";
+             return s;
+         }()},
+    };
+    for (const Case &c : cases) {
+        json::Value out;
+        std::string err;
+        EXPECT_FALSE(json::Value::parse(c.text, out, &err)) << c.name;
+        EXPECT_FALSE(err.empty()) << c.name;
+    }
+}
+
+// Nesting below the ceiling still parses; the limit only guards
+// adversarial depth, not real documents.
+TEST(JsonTest, ParseAcceptsReasonableNesting)
+{
+    std::string text(64, '[');
+    text += std::string(64, ']');
+    json::Value out;
+    std::string err;
+    EXPECT_TRUE(json::Value::parse(text, out, &err)) << err;
+}
+
+// Duplicate keys: last value wins (Value::operator[] overwrites), one
+// entry survives, and the document round-trips deterministically.
+TEST(JsonTest, ParseDuplicateKeysLastWins)
+{
+    json::Value out;
+    std::string err;
+    ASSERT_TRUE(
+        json::Value::parse(R"({"k": 1, "k": 2})", out, &err)) << err;
+    ASSERT_NE(out.find("k"), nullptr);
+    EXPECT_EQ(out.find("k")->asU64(), 2u);
+    EXPECT_EQ(out.dump(), "{\n  \"k\": 2\n}");
+}
+
 TEST(BitopsTest, PowerOfTwo)
 {
     EXPECT_FALSE(isPowerOf2(0));

@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# clang-tidy gate over src/ using the checked-in .clang-tidy profile.
+#
+# Needs a configured build directory with compile_commands.json (the
+# top-level CMakeLists always exports it). Skips with a notice when
+# clang-tidy is not installed — the container toolchain is gcc-only —
+# so the ctest registration stays harmless locally while the CI lint
+# job (which installs clang-tidy) enforces it.
+#
+# usage: tools/tidy_check.sh [build-dir]   (default: build)
+
+set -euo pipefail
+
+repo_root=$(CDPATH='' cd -- "$(dirname -- "$0")/.." && pwd)
+build_dir=${1:-"$repo_root/build"}
+
+if ! command -v clang-tidy > /dev/null 2>&1; then
+    echo "tidy_check: clang-tidy not installed; skipping"
+    exit 0
+fi
+if [ ! -f "$build_dir/compile_commands.json" ]; then
+    echo "tidy_check: $build_dir/compile_commands.json missing;" \
+         "configure the build first (cmake -B $build_dir -S .)" >&2
+    exit 2
+fi
+
+log="$build_dir/clang_tidy.log"
+: > "$log"
+
+# run-clang-tidy parallelizes across translation units when available.
+if command -v run-clang-tidy > /dev/null 2>&1; then
+    run-clang-tidy -p "$build_dir" -quiet \
+        "$repo_root/src/.*\.cc$" 2>&1 | tee "$log"
+else
+    find "$repo_root/src" -name '*.cc' -print0 | sort -z | \
+        xargs -0 clang-tidy -p "$build_dir" -quiet 2>&1 | tee "$log"
+fi
+
+if grep -q "error:" "$log"; then
+    echo "tidy_check: FAILED (errors above; full log: $log)" >&2
+    exit 1
+fi
+echo "tidy_check: OK"

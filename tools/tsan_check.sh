@@ -1,43 +1,6 @@
 #!/bin/sh
-# ThreadSanitizer gate for the parallel sweep engine and the intra-run
-# pipeline.
-#
-# Builds the repo with -DSLIP_SANITIZE=thread and runs the concurrency
-# tests (sweep runner + policy/system sweeps), a tiny multi-job
-# slip-bench sweep, and a sharded --run-threads 4 multicore scenario
-# under TSan. Any reported race fails the script, so it can serve
-# directly as a CI job.
+# Compatibility shim: the TSan gate now lives in sanitize_check.sh,
+# which also drives the ASan and UBSan legs of the CI matrix.
 #
 # usage: tools/tsan_check.sh [build-dir]   (default: build-tsan)
-
-set -eu
-
-repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
-build_dir=${1:-"$repo_root/build-tsan"}
-
-export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1"
-
-cmake -B "$build_dir" -S "$repo_root" -DSLIP_SANITIZE=thread \
-      -DCMAKE_BUILD_TYPE=RelWithDebInfo
-cmake --build "$build_dir" -j \
-      --target sweep_runner_test slip_policy_test sweep_test \
-               slip-bench slip-sim
-
-echo "== sweep_runner_test (TSan) =="
-"$build_dir/tests/sweep_runner_test"
-
-echo "== slip_policy_test (TSan) =="
-"$build_dir/tests/slip_policy_test"
-
-echo "== slip-bench --jobs 4 (TSan, tiny sweep) =="
-SLIP_BENCH_REFS=20000 SLIP_BENCH_WARMUP=20000 \
-SLIP_BENCH_CACHE="$build_dir/tsan_bench_cache" \
-    "$build_dir/bench/slip-bench" --jobs 4 \
-    --only fig13_speedup,fig16_multicore > /dev/null
-
-echo "== slip-sim --run-threads 4 (TSan, sharded pipeline) =="
-"$build_dir/src/slip-sim" \
-    --scenario "$repo_root/scenarios/hier3_multicore4.json" \
-    --refs 20000 --warmup 20000 --run-threads 4 > /dev/null
-
-echo "tsan_check: OK (no data races reported)"
+exec "$(dirname -- "$0")/sanitize_check.sh" tsan ${1:+"$1"}
