@@ -1,0 +1,117 @@
+#include "mem/trace_import.hh"
+
+#include <cstring>
+
+#include "mem/trace_io.hh"
+
+namespace slip {
+
+namespace {
+
+/** Byte size and field offsets of ChampSim's input_instr. */
+constexpr std::size_t kChampSimRecordBytes = 64;
+constexpr std::size_t kDestMemOff = 16;  // u64 destination_memory[2]
+constexpr std::size_t kSrcMemOff = 32;   // u64 source_memory[4]
+constexpr unsigned kNumDestMem = 2;
+constexpr unsigned kNumSrcMem = 4;
+
+std::uint64_t
+getLe64(const std::uint8_t *p)
+{
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= std::uint64_t(p[i]) << (8 * i);
+    return v;
+}
+
+/** Read exactly @p n bytes; returns bytes read (short only at end). */
+std::size_t
+readFull(TraceInput &in, std::uint8_t *dst, std::size_t n,
+         std::string &err)
+{
+    std::size_t got = 0;
+    while (got < n) {
+        const std::size_t r = in.read(dst + got, n - got, err);
+        if (!err.empty() || r == 0)
+            break;
+        got += r;
+    }
+    return got;
+}
+
+} // namespace
+
+std::string
+importChampSimTrace(const std::string &inPath,
+                    const std::string &outPath,
+                    ChampSimImportStats *statsOut)
+{
+    TraceInput in;
+    std::string err = in.open(inPath);
+    if (!err.empty())
+        return err;
+
+    auto writer =
+        TraceWriter::create(outPath, TraceFormat::Sliptrc2, 1, &err);
+    if (!writer)
+        return err;
+
+    ChampSimImportStats stats;
+    std::uint64_t lastEmittedIcount = 0;
+    std::uint8_t rec[kChampSimRecordBytes];
+
+    for (;;) {
+        const std::uint64_t start = in.offset();
+        const std::size_t got =
+            readFull(in, rec, sizeof(rec), err);
+        if (!err.empty())
+            return err;
+        if (got == 0)
+            break;
+        if (got < sizeof(rec))
+            return inPath + ": offset " + std::to_string(start) +
+                   ": truncated ChampSim record (got " +
+                   std::to_string(got) + " of " +
+                   std::to_string(sizeof(rec)) + " bytes)";
+
+        ++stats.instructions;
+        const auto emit = [&](std::uint64_t addr, bool write) {
+            TraceRecord out;
+            out.core = 0;
+            out.addr = addr;
+            out.write = write;
+            out.icountDelta = stats.instructions - lastEmittedIcount;
+            lastEmittedIcount = stats.instructions;
+            writer->append(out);
+            ++stats.records;
+            ++(write ? stats.writes : stats.reads);
+        };
+        // Loads (source_memory) in operand order, then stores.
+        for (unsigned i = 0; i < kNumSrcMem; ++i) {
+            const std::uint64_t a = getLe64(rec + kSrcMemOff + 8 * i);
+            if (a)
+                emit(a, false);
+        }
+        for (unsigned i = 0; i < kNumDestMem; ++i) {
+            const std::uint64_t a = getLe64(rec + kDestMemOff + 8 * i);
+            if (a)
+                emit(a, true);
+        }
+    }
+
+    if (stats.instructions == 0)
+        return inPath + ": empty ChampSim trace (no instructions)";
+    if (stats.records == 0)
+        return inPath + ": ChampSim trace has no memory references "
+                        "in " +
+               std::to_string(stats.instructions) + " instructions";
+
+    err = writer->close();
+    if (!err.empty())
+        return err;
+    if (statsOut)
+        *statsOut = stats;
+    return "";
+}
+
+} // namespace slip

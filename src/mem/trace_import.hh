@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Foreign-trace importers: convert other simulators' trace formats to
+ * SLIPTRC2 (mem/trace_io.hh). Input streams through TraceInput, so
+ * gzip-compressed foreign traces convert without an external
+ * decompression step.
+ *
+ * ChampSim: the fixed 64-byte `input_instr` record —
+ *   u64 ip; u8 is_branch; u8 branch_taken;
+ *   u8 destination_registers[2]; u8 source_registers[4];
+ *   u64 destination_memory[2]; u64 source_memory[4];
+ * Nonzero source_memory entries are loads, nonzero
+ * destination_memory entries are stores. Per instruction the
+ * converter emits the loads (in operand order) then the stores; the
+ * first record of an instruction carries an icount-delta equal to
+ * the instructions retired since the previous emitted record, later
+ * records of the same instruction carry 0. ChampSim traces are
+ * single-core, so every record lands on core 0.
+ */
+
+#ifndef SLIP_MEM_TRACE_IMPORT_HH
+#define SLIP_MEM_TRACE_IMPORT_HH
+
+#include <cstdint>
+#include <string>
+
+namespace slip {
+
+struct ChampSimImportStats
+{
+    std::uint64_t instructions = 0;
+    std::uint64_t records = 0;
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+};
+
+/**
+ * Convert the ChampSim trace @p inPath (plain or .gz) to a SLIPTRC2
+ * trace at @p outPath. Returns "" on success or a path-and-offset-
+ * named error (truncated record, empty input, no memory references).
+ */
+std::string importChampSimTrace(const std::string &inPath,
+                                const std::string &outPath,
+                                ChampSimImportStats *stats = nullptr);
+
+} // namespace slip
+
+#endif // SLIP_MEM_TRACE_IMPORT_HH

@@ -7,6 +7,7 @@
 #include "energy/topology.hh"
 #include "sim/policy_registry.hh"
 #include "workloads/spec_suite.hh"
+#include "workloads/trace_workload.hh"
 
 namespace slip {
 
@@ -370,9 +371,20 @@ validateScenario(const Scenario &s)
     if (!parseReplKind(s.repl, repl))
         return "$.repl: unknown replacement '" + s.repl + "'";
     for (std::size_t i = 0; i < s.workloads.size(); ++i) {
-        if (!isKnownWorkload(s.workloads[i]))
+        const std::string &w = s.workloads[i];
+        // `trace:` workloads are validated against the file itself
+        // (openable, sane header, enough cores, nonempty) so a bad
+        // trace is rejected here rather than aborting mid-run.
+        if (isTraceWorkload(w)) {
+            const std::string terr =
+                validateTraceWorkload(w, s.cores);
+            if (!terr.empty())
+                return "$.workloads[" + std::to_string(i) +
+                       "]: " + terr;
+        } else if (!isKnownWorkload(w)) {
             return "$.workloads[" + std::to_string(i) +
-                   "]: unknown workload '" + s.workloads[i] + "'";
+                   "]: unknown workload '" + w + "'";
+        }
     }
 
     // Resolving catches what structural validation cannot: unknown

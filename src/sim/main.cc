@@ -36,6 +36,9 @@ usage()
         "\n"
         "  --bench NAME        workload from the SPEC-like suite\n"
         "  --trace FILE        drive from a trace file instead\n"
+        "                      (SLIPTRC2/SLIPTRC1/text, plain or\n"
+        "                      .gz; multicore SLIPTRC2 demuxes per\n"
+        "                      core — see slip-trace)\n"
         "  --scenario FILE     load a declarative JSON scenario\n"
         "                      (hierarchy, policy, workloads; see\n"
         "                      scenarios/README.md). --refs/--warmup/\n"
@@ -64,8 +67,9 @@ usage()
         "  --stats-json FILE   write the stats as JSON to FILE\n"
         "                      (enables the metrics registry, so the\n"
         "                      per-cause energy ledger is populated)\n"
-        "  --dump-trace FILE   also record the reference stream to a\n"
-        "                      binary trace (replayable via --trace)\n"
+        "  --dump-trace FILE   also record core 0's reference stream\n"
+        "                      to a SLIPTRC2 trace (replayable via\n"
+        "                      --trace; .gz compresses)\n"
         "  --list              list available benchmarks\n");
 }
 
@@ -207,8 +211,12 @@ main(int argc, char **argv)
     std::vector<AccessSource *> sources;
     for (unsigned c = 0; c < cfg.numCores; ++c) {
         if (!trace_path.empty()) {
-            owned.push_back(std::make_unique<FileTraceSource>(
-                trace_path, loop_trace));
+            std::string terr;
+            auto ts = TraceSource::open(trace_path, c, loop_trace,
+                                        &terr);
+            if (!ts)
+                fatal("%s", terr.c_str());
+            owned.push_back(std::move(ts));
         } else if (!scenario_path.empty()) {
             const std::string &name =
                 scenario.workloads.size() == 1 ? scenario.workloads[0]
@@ -245,7 +253,11 @@ main(int argc, char **argv)
     std::unique_ptr<TraceWriter> dump_writer;
     std::unique_ptr<TeeSource> tee;
     if (!dump_path.empty()) {
-        dump_writer = std::make_unique<TraceWriter>(dump_path);
+        std::string werr;
+        dump_writer = TraceWriter::create(
+            dump_path, TraceFormat::Sliptrc2, 1, &werr);
+        if (!dump_writer)
+            fatal("%s", werr.c_str());
         tee = std::make_unique<TeeSource>(*sources[0], *dump_writer);
         sources[0] = tee.get();
     }
@@ -261,6 +273,16 @@ main(int argc, char **argv)
            static_cast<unsigned long long>(refs),
            static_cast<unsigned long long>(warmup), cfg.numCores);
     sys.run(sources, refs, warmup);
+
+    if (dump_writer) {
+        const std::string werr = dump_writer->close();
+        if (!werr.empty())
+            fatal("%s", werr.c_str());
+        inform("trace written to %s (%llu records)",
+               dump_path.c_str(),
+               static_cast<unsigned long long>(
+                   dump_writer->written()));
+    }
 
     if (!stats_path.empty()) {
         std::ofstream os(stats_path);

@@ -255,7 +255,10 @@ executeRun(const RunSpec &spec)
     }
     System sys(makeConfig(spec.policy, spec.opts, 1));
     RunObsSession watch(sys, spec);
-    auto w = makeSpecWorkload(spec.benchmark);
+    // makeMixSource so `trace:` benchmarks resolve; for generators
+    // core 0 is a byte-identical wrap of makeSpecWorkload (seed
+    // delta and address offset are both zero at core 0).
+    auto w = makeMixSource(spec.benchmark, 0);
     sys.run({w.get()}, spec.opts.refs, spec.opts.warmup);
     return extract(sys);
 }

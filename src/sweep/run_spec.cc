@@ -3,6 +3,9 @@
 #include <cstdlib>
 #include <sstream>
 
+#include "util/logging.hh"
+#include "workloads/trace_workload.hh"
+
 namespace slip {
 
 namespace {
@@ -45,6 +48,9 @@ SweepOptions::key() const
     // v8: keys gained the hierarchy fragment (always serialized in
     // canonical form, so classic runs from any construction path —
     // CLI, programmatic, scenario file — share entries).
+    // v9: trace-driven benchmarks fold the trace file's content hash
+    // into the benchmark token (see RunSpec::key), so cached results
+    // can never alias across different trace files.
     std::ostringstream os;
     os << kCacheKeyVersion << "_r" << refs << "_w" << warmup << "_"
        << tech.name << "_t"
@@ -78,13 +84,45 @@ RunSpec::mix(std::string a, std::string b, PolicyKind policy,
     return s;
 }
 
+namespace {
+
+/**
+ * The key token for a benchmark name. Registered workloads pass
+ * through verbatim; `trace:path` names become a filename-safe token
+ * carrying an FNV of the name (so two paths never collide textually)
+ * plus an FNV of the raw file bytes, so editing a trace in place
+ * misses the stale cache entry. Hashing re-reads the file on every
+ * key() call — trace keys are computed once per run, and correctness
+ * under in-place edits beats caching the digest. Fatal when the file
+ * is unreadable: callers validate trace workloads before building
+ * specs, so this is a programmer error.
+ */
+std::string
+benchmarkKeyToken(const std::string &name)
+{
+    if (!isTraceWorkload(name))
+        return name;
+    std::string err;
+    const std::uint64_t content =
+        traceFileHash(traceWorkloadPath(name), &err);
+    if (!err.empty())
+        fatal("cache key for '%s': %s", name.c_str(), err.c_str());
+    std::ostringstream os;
+    os << "trace-" << std::hex << fnv1a(name) << "-" << content;
+    return os.str();
+}
+
+} // namespace
+
 std::string
 RunSpec::key() const
 {
     if (isMix())
-        return "mix_" + benchmark + "+" + benchmarkB + "_" +
+        return "mix_" + benchmarkKeyToken(benchmark) + "+" +
+               benchmarkKeyToken(benchmarkB) + "_" +
                policyName(policy) + "_" + opts.key();
-    return benchmark + "_" + policyName(policy) + "_" + opts.key();
+    return benchmarkKeyToken(benchmark) + "_" + policyName(policy) +
+           "_" + opts.key();
 }
 
 std::string

@@ -32,7 +32,7 @@ namespace slip {
  * on-disk entries are retired instead of parsed into partially-zero
  * results.
  */
-constexpr const char *kCacheKeyVersion = "v8";
+constexpr const char *kCacheKeyVersion = "v9";
 
 /** Sweep configuration shared by the experiment harnesses. */
 struct SweepOptions

@@ -4,6 +4,7 @@
 #include <mutex>
 
 #include "util/logging.hh"
+#include "workloads/trace_workload.hh"
 
 namespace slip {
 
@@ -489,6 +490,18 @@ multicoreMixes()
 std::unique_ptr<AccessSource>
 makeMixSource(const std::string &name, unsigned core, std::uint64_t seed)
 {
+    // `trace:path` names replay a capture instead of a generator. No
+    // per-core offset: a multicore capture already embeds each core's
+    // addresses (captured post-OffsetSource), and the seed has no
+    // meaning for recorded streams. Failures here are programmer
+    // error — callers validate via validateTraceWorkload first.
+    if (isTraceWorkload(name)) {
+        std::string err;
+        auto src = makeTraceWorkloadSource(name, core, &err);
+        if (!src)
+            fatal("%s", err.c_str());
+        return src;
+    }
     auto inner = makeSpecWorkload(name, seed + core * 7919);
     const Addr offset = Addr{core} << 42;  // 4 TB per core
     return std::make_unique<OffsetSource>(std::move(inner), offset);

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Trace-driven workloads: the `trace:path[.gz]` workload-name scheme
+ * that lets scenarios, slip-bench and slip-sim replay an on-disk
+ * trace (mem/trace_io.hh) anywhere a registered synthetic workload
+ * name is accepted.
+ *
+ * Semantics:
+ *  - `trace:/path/to/file.trc2[.gz]` resolves through makeMixSource
+ *    like any other workload name. No per-core address offset is
+ *    applied — a multicore capture already embeds each core's
+ *    addresses — and the per-core streams demux by the record core
+ *    id. Single-core traces feed every core the full stream.
+ *  - Sources loop deterministically when the capture is shorter than
+ *    the run, so short captures still fill a measurement window.
+ *  - Validation (validateTraceWorkload) is recoverable: scenario
+ *    validation surfaces "$.workloads[i]: <path>: ..." messages
+ *    instead of aborting mid-run.
+ *  - The replay pulls addr/type only; icount-deltas ride along in
+ *    the format for importers, while the simulator's timing stays
+ *    analytic (SystemConfig::instrPerAccess).
+ */
+
+#ifndef SLIP_WORKLOADS_TRACE_WORKLOAD_HH
+#define SLIP_WORKLOADS_TRACE_WORKLOAD_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "mem/trace_io.hh"
+
+namespace slip {
+
+/** Workload names beginning with this prefix replay a trace file. */
+constexpr const char *kTraceWorkloadPrefix = "trace:";
+
+/** True when @p name uses the `trace:` scheme. */
+bool isTraceWorkload(const std::string &name);
+
+/** The file path after the `trace:` prefix (may be empty). */
+std::string traceWorkloadPath(const std::string &name);
+
+/**
+ * Check that @p name is replayable on @p cores cores: path present
+ * and openable, header valid, enough cores in the trace, at least
+ * one record. Returns "" or a path-named error suitable for
+ * prefixing with a "$.workloads[i]: " scenario path.
+ */
+std::string validateTraceWorkload(const std::string &name,
+                                  unsigned cores);
+
+/**
+ * Open core @p core's looping replay source for @p name. Returns
+ * nullptr with @p err set on failure (same checks as
+ * validateTraceWorkload).
+ */
+std::unique_ptr<AccessSource>
+makeTraceWorkloadSource(const std::string &name, unsigned core,
+                        std::string *err);
+
+/**
+ * Capture @p refsPerCore references per core of a registered
+ * workload (or another `trace:` name) to @p outPath, interleaved
+ * round-robin core 0..cores-1 exactly as System::run pulls them.
+ * Uses the same per-core sources as a scenario run (makeMixSource
+ * with @p workloadSeed), so replaying the capture at the same core
+ * count reproduces the generator run byte-identically when the
+ * capture covers warmup + measured references. Returns "" or an
+ * error.
+ */
+std::string captureWorkloadTrace(
+    const std::string &workload, unsigned cores,
+    std::uint64_t refsPerCore, std::uint64_t workloadSeed,
+    const std::string &outPath,
+    TraceFormat format = TraceFormat::Sliptrc2);
+
+} // namespace slip
+
+#endif // SLIP_WORKLOADS_TRACE_WORKLOAD_HH

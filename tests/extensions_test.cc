@@ -9,6 +9,7 @@
 
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
 #include <sstream>
 #include <unordered_map>
 #include <unordered_set>
@@ -31,25 +32,31 @@ tempPath(const char *name)
         .string();
 }
 
-TEST(TraceIoTest, BinaryRoundTrip)
+TEST(TraceIoTest, LegacyBinaryRoundTrip)
 {
     const std::string path = tempPath("bin.trc");
     {
-        TraceWriter w(path, TraceWriter::Format::Binary);
-        w.append({0x1234, AccessType::Read});
-        w.append({0xABCDEF00, AccessType::Write});
-        EXPECT_EQ(w.written(), 2u);
+        std::string err;
+        auto w =
+            TraceWriter::create(path, TraceFormat::Sliptrc1, 1, &err);
+        ASSERT_NE(w, nullptr) << err;
+        w->append({0x1234, AccessType::Read});
+        w->append({0xABCDEF00, AccessType::Write});
+        EXPECT_EQ(w->written(), 2u);
+        EXPECT_EQ(w->close(), "");
     }
-    FileTraceSource src(path);
-    EXPECT_TRUE(src.isBinary());
+    std::string err;
+    auto src = TraceSource::open(path, 0, /*loop=*/false, &err);
+    ASSERT_NE(src, nullptr) << err;
+    EXPECT_EQ(src->info().format, TraceFormat::Sliptrc1);
     MemAccess a;
-    ASSERT_TRUE(src.next(a));
+    ASSERT_TRUE(src->next(a));
     EXPECT_EQ(a.addr, 0x1234u);
     EXPECT_FALSE(a.isWrite());
-    ASSERT_TRUE(src.next(a));
+    ASSERT_TRUE(src->next(a));
     EXPECT_EQ(a.addr, 0xABCDEF00u);
     EXPECT_TRUE(a.isWrite());
-    EXPECT_FALSE(src.next(a));
+    EXPECT_FALSE(src->next(a));
     std::filesystem::remove(path);
 }
 
@@ -57,19 +64,24 @@ TEST(TraceIoTest, TextRoundTrip)
 {
     const std::string path = tempPath("txt.trc");
     {
-        TraceWriter w(path, TraceWriter::Format::Text);
-        w.append({0x40, AccessType::Write});
-        w.append({0x80, AccessType::Read});
+        std::string err;
+        auto w = TraceWriter::create(path, TraceFormat::Text, 1, &err);
+        ASSERT_NE(w, nullptr) << err;
+        w->append({0x40, AccessType::Write});
+        w->append({0x80, AccessType::Read});
+        EXPECT_EQ(w->close(), "");
     }
-    FileTraceSource src(path);
-    EXPECT_FALSE(src.isBinary());
+    std::string err;
+    auto src = TraceSource::open(path, 0, /*loop=*/false, &err);
+    ASSERT_NE(src, nullptr) << err;
+    EXPECT_EQ(src->info().format, TraceFormat::Text);
     MemAccess a;
-    ASSERT_TRUE(src.next(a));
+    ASSERT_TRUE(src->next(a));
     EXPECT_EQ(a.addr, 0x40u);
     EXPECT_TRUE(a.isWrite());
-    ASSERT_TRUE(src.next(a));
+    ASSERT_TRUE(src->next(a));
     EXPECT_EQ(a.addr, 0x80u);
-    EXPECT_FALSE(src.next(a));
+    EXPECT_FALSE(src->next(a));
     std::filesystem::remove(path);
 }
 
@@ -77,17 +89,18 @@ TEST(TraceIoTest, TextSkipsComments)
 {
     const std::string path = tempPath("cmt.trc");
     {
-        std::FILE *f = std::fopen(path.c_str(), "w");
-        std::fputs("# a comment line\nR 100\n# another\nW 200\n", f);
-        std::fclose(f);
+        std::ofstream os(path);
+        os << "# a comment line\nR 100\n# another\nW 200\n";
     }
-    FileTraceSource src(path);
+    std::string err;
+    auto src = TraceSource::open(path, 0, /*loop=*/false, &err);
+    ASSERT_NE(src, nullptr) << err;
     MemAccess a;
-    ASSERT_TRUE(src.next(a));
+    ASSERT_TRUE(src->next(a));
     EXPECT_EQ(a.addr, 0x100u);
-    ASSERT_TRUE(src.next(a));
+    ASSERT_TRUE(src->next(a));
     EXPECT_EQ(a.addr, 0x200u);
-    EXPECT_FALSE(src.next(a));
+    EXPECT_FALSE(src->next(a));
     std::filesystem::remove(path);
 }
 
@@ -95,13 +108,19 @@ TEST(TraceIoTest, LoopingRestarts)
 {
     const std::string path = tempPath("loop.trc");
     {
-        TraceWriter w(path);
-        w.append({0x40, AccessType::Read});
+        std::string err;
+        auto w = TraceWriter::create(path, TraceFormat::Sliptrc2, 1,
+                                     &err);
+        ASSERT_NE(w, nullptr) << err;
+        w->append({0x40, AccessType::Read});
+        EXPECT_EQ(w->close(), "");
     }
-    FileTraceSource src(path, /*loop=*/true);
+    std::string err;
+    auto src = TraceSource::open(path, 0, /*loop=*/true, &err);
+    ASSERT_NE(src, nullptr) << err;
     MemAccess a;
     for (int i = 0; i < 5; ++i) {
-        ASSERT_TRUE(src.next(a));
+        ASSERT_TRUE(src->next(a));
         EXPECT_EQ(a.addr, 0x40u);
     }
     std::filesystem::remove(path);
@@ -111,17 +130,23 @@ TEST(TraceIoTest, DrivesSystem)
 {
     const std::string path = tempPath("sys.trc");
     {
-        TraceWriter w(path);
+        std::string err;
+        auto w = TraceWriter::create(path, TraceFormat::Sliptrc2, 1,
+                                     &err);
+        ASSERT_NE(w, nullptr) << err;
         // A small loop as a trace: second pass hits in L1.
         for (int rep = 0; rep < 4; ++rep)
             for (Addr l = 0; l < 64; ++l)
-                w.append({(Addr{1} << 34) + l * kLineSize,
-                          AccessType::Read});
+                w->append({(Addr{1} << 34) + l * kLineSize,
+                           AccessType::Read});
+        EXPECT_EQ(w->close(), "");
     }
     SystemConfig cfg;
     System sys(cfg);
-    FileTraceSource src(path);
-    sys.run({&src}, 4 * 64, 0);
+    std::string err;
+    auto src = TraceSource::open(path, 0, /*loop=*/false, &err);
+    ASSERT_NE(src, nullptr) << err;
+    sys.run({src.get()}, 4 * 64, 0);
     EXPECT_EQ(sys.coreStats(0).accesses, 4u * 64);
     // 64 compulsory misses, the rest L1 hits.
     EXPECT_EQ(sys.coreStats(0).l1Hits, 3u * 64);

@@ -19,9 +19,14 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <cstdint>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
+#include <functional>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -29,6 +34,7 @@
 #include "sim/stats_dump.hh"
 #include "sim/system.hh"
 #include "workloads/spec_suite.hh"
+#include "workloads/trace_workload.hh"
 
 #ifndef SLIP_GOLDEN_DIR
 #error "SLIP_GOLDEN_DIR must point at tests/golden"
@@ -180,6 +186,139 @@ TEST(GoldenStatsTest, CoversFourteenWorkloads)
 {
     EXPECT_EQ(specBenchmarks().size(), 14u);
 }
+
+// ---------------------------------------------------------------------
+// Trace ingestion goldens
+// ---------------------------------------------------------------------
+
+/** Run @p cores cores built by @p make, dump the stats. */
+std::string
+simulateSources(
+    unsigned cores, unsigned run_threads,
+    const std::function<std::unique_ptr<AccessSource>(unsigned)> &make,
+    std::uint64_t refs, std::uint64_t warmup)
+{
+    SystemConfig cfg;
+    cfg.numCores = cores;
+    cfg.runThreads = run_threads;
+    System sys(cfg);
+    std::vector<std::unique_ptr<AccessSource>> owned;
+    std::vector<AccessSource *> sources;
+    for (unsigned c = 0; c < cores; ++c) {
+        owned.push_back(make(c));
+        sources.push_back(owned.back().get());
+    }
+    sys.run(sources, refs, warmup);
+    std::ostringstream os;
+    dumpStats(sys, os);
+    return os.str();
+}
+
+#ifdef SLIP_HAVE_ZLIB
+/**
+ * The checked-in compressed capture of the soplex generator
+ * (tests/golden/soplex_capture.trc2.gz, warmup + measured references)
+ * replayed through the `trace:` workload scheme must reproduce the
+ * *generator's* golden fixture byte-for-byte — the fixture doubles as
+ * a decoder regression (any SLIPTRC2/gzip decode change shows up as a
+ * stats diff) and as the checked-in proof that capture-then-replay is
+ * an identity. SLIP_GOLDEN_REGEN=1 re-captures it.
+ */
+TEST(TraceGoldenTest, CompressedCaptureReplaysToSoplexFixture)
+{
+    const std::string trace =
+        std::string(SLIP_GOLDEN_DIR) + "/soplex_capture.trc2.gz";
+
+    if (std::getenv("SLIP_GOLDEN_REGEN")) {
+        const std::string err = captureWorkloadTrace(
+            "soplex", 1, kGoldenRefs + kGoldenWarmup, 0, trace);
+        ASSERT_EQ(err, "");
+        GTEST_SKIP() << "regenerated " << trace;
+    }
+
+    ASSERT_TRUE(std::filesystem::exists(trace))
+        << "missing fixture " << trace
+        << " — run SLIP_GOLDEN_REGEN=1 ./tests/golden_stats_test";
+
+    std::ifstream is(fixturePath("soplex", PolicyKind::Baseline),
+                     std::ios::binary);
+    ASSERT_TRUE(is.good());
+    std::ostringstream buf;
+    buf << is.rdbuf();
+    const std::string want = buf.str();
+
+    const auto makeCore = [&](unsigned c) {
+        return makeMixSource("trace:" + trace, c);
+    };
+    const std::string got = simulateSources(1, 1, makeCore,
+                                            kGoldenRefs, kGoldenWarmup);
+    EXPECT_EQ(want, got)
+        << "trace replay diverged from the generator fixture\n"
+        << readableDiff(want, got);
+
+    const std::string piped = simulateSources(
+        1, 4, makeCore, kGoldenRefs, kGoldenWarmup);
+    EXPECT_EQ(want, piped)
+        << "run_threads=4 trace replay diverged\n"
+        << readableDiff(want, piped);
+}
+#endif
+
+/**
+ * Metamorphic identity: capturing a synthetic workload and replaying
+ * the capture through `trace:` yields byte-identical stats to running
+ * the generator directly — single-core and multicore (per-core
+ * demux), plain and gzip, serial and pipelined.
+ */
+class TraceMetamorphicTest : public ::testing::TestWithParam<unsigned>
+{};
+
+TEST_P(TraceMetamorphicTest, CaptureReplayIsIdentity)
+{
+    const unsigned cores = GetParam();
+    const std::uint64_t refs = 20000, warmup = 20000;
+
+    const std::string reference = simulateSources(
+        cores, 1,
+        [&](unsigned c) { return makeMixSource("gcc", c, 0); }, refs,
+        warmup);
+
+    std::vector<std::string> paths;
+    paths.push_back(
+        (std::filesystem::temp_directory_path() /
+         ("slip_meta_" + std::to_string(cores) + "c_" +
+          std::to_string(::getpid()) + ".trc2"))
+            .string());
+#ifdef SLIP_HAVE_ZLIB
+    paths.push_back(paths[0] + ".gz");
+#endif
+    for (const std::string &path : paths) {
+        SCOPED_TRACE(path);
+        ASSERT_EQ(captureWorkloadTrace("gcc", cores, refs + warmup, 0,
+                                       path),
+                  "");
+        const auto makeCore = [&](unsigned c) {
+            return makeMixSource("trace:" + path, c);
+        };
+        const std::string replayed =
+            simulateSources(cores, 1, makeCore, refs, warmup);
+        EXPECT_EQ(reference, replayed)
+            << "trace replay diverged from the generator\n"
+            << readableDiff(reference, replayed);
+        const std::string piped =
+            simulateSources(cores, 4, makeCore, refs, warmup);
+        EXPECT_EQ(reference, piped)
+            << "pipelined trace replay diverged\n"
+            << readableDiff(reference, piped);
+        std::filesystem::remove(path);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Cores, TraceMetamorphicTest,
+                         ::testing::Values(1u, 4u),
+                         [](const ::testing::TestParamInfo<unsigned> &i) {
+                             return std::to_string(i.param) + "core";
+                         });
 
 } // namespace
 } // namespace slip

@@ -10,7 +10,7 @@
  *    rewrites them),
  *  - strict validation: every rejection names the offending JSON path,
  *  - malformed JSON never crashes the parser,
- *  - v8 cache keys: file-loaded and programmatic descriptions of the
+ *  - v9 cache keys: file-loaded and programmatic descriptions of the
  *    same configuration hash identically, one-field edits miss,
  *  - a System built from the golden scenarios reproduces the golden
  *    fixtures byte-for-byte,
@@ -312,9 +312,9 @@ TEST(ScenarioValidation, MalformedJsonNeverCrashes)
 }
 
 // ---------------------------------------------------------------------
-// v8 cache keys.
+// v9 cache keys.
 
-TEST(CacheKeyV8, EmptyAndSpelledOutClassicShareKeys)
+TEST(CacheKeyV9, EmptyAndSpelledOutClassicShareKeys)
 {
     EXPECT_EQ(HierarchySpec{}.key(), HierarchySpec::classic().key());
 
@@ -326,10 +326,10 @@ TEST(CacheKeyV8, EmptyAndSpelledOutClassicShareKeys)
     const RunSpec b =
         RunSpec::single("soplex", PolicyKind::Slip, spelled);
     EXPECT_EQ(a.key(), b.key());
-    EXPECT_NE(a.key().find("_v8_"), std::string::npos) << a.key();
+    EXPECT_NE(a.key().find("_v9_"), std::string::npos) << a.key();
 }
 
-TEST(CacheKeyV8, FileScenarioMatchesProgrammaticConfig)
+TEST(CacheKeyV9, FileScenarioMatchesProgrammaticConfig)
 {
     // The golden scenario spells out the classic hierarchy in JSON;
     // a legacy programmatic SweepOptions must hit the same cache
@@ -355,7 +355,7 @@ TEST(CacheKeyV8, FileScenarioMatchesProgrammaticConfig)
                   .key());
 }
 
-TEST(CacheKeyV8, OneFieldEditMisses)
+TEST(CacheKeyV9, OneFieldEditMisses)
 {
     SweepOptions base;
     base.hierarchy = HierarchySpec::classic();

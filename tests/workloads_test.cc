@@ -6,14 +6,20 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
+#include <filesystem>
 #include <map>
 #include <set>
 #include <unordered_map>
 #include <unordered_set>
 
+#include "mem/trace_io.hh"
+#include "scenario/scenario.hh"
 #include "workloads/benchmark.hh"
 #include "workloads/pattern.hh"
 #include "workloads/spec_suite.hh"
+#include "workloads/trace_workload.hh"
 
 namespace slip {
 namespace {
@@ -268,6 +274,112 @@ TEST(TraceBufferTest, ReplayAndLimit)
     while (limited.next(acc))
         ++n;
     EXPECT_EQ(n, 4);
+}
+
+// ---------------------------------------------------------------------
+// `trace:` workload scheme (workloads/trace_workload.hh)
+// ---------------------------------------------------------------------
+
+std::string
+traceTempPath(const char *name)
+{
+    return (std::filesystem::temp_directory_path() /
+            (std::string("slip_wl_test_") + name + "_" +
+             std::to_string(::getpid())))
+        .string();
+}
+
+TEST(TraceWorkloadTest, SchemeDetectionAndPath)
+{
+    EXPECT_TRUE(isTraceWorkload("trace:/tmp/a.trc2"));
+    EXPECT_TRUE(isTraceWorkload("trace:"));
+    EXPECT_FALSE(isTraceWorkload("soplex"));
+    EXPECT_FALSE(isTraceWorkload("mytrace:x"));
+    EXPECT_EQ(traceWorkloadPath("trace:/tmp/a.trc2"), "/tmp/a.trc2");
+}
+
+TEST(TraceWorkloadTest, ValidateRejectsBadTraces)
+{
+    // Empty path.
+    std::string err = validateTraceWorkload("trace:", 1);
+    EXPECT_NE(err.find("empty trace path"), std::string::npos) << err;
+
+    // Unknown file: recoverable, names the path.
+    err = validateTraceWorkload("trace:/nonexistent/wl.trc2", 1);
+    EXPECT_NE(err.find("/nonexistent/wl.trc2"), std::string::npos)
+        << err;
+    EXPECT_NE(err.find("cannot open trace"), std::string::npos) << err;
+
+    // A 2-core capture cannot drive a 4-core run...
+    const std::string path = traceTempPath("2c.trc2");
+    {
+        std::string werr;
+        auto w = TraceWriter::create(path, TraceFormat::Sliptrc2, 2,
+                                     &werr);
+        ASSERT_NE(w, nullptr) << werr;
+        w->append(TraceRecord{0, 0x1000, false, 1});
+        w->append(TraceRecord{1, 0x2000, false, 1});
+        ASSERT_EQ(w->close(), "");
+    }
+    err = validateTraceWorkload("trace:" + path, 4);
+    EXPECT_NE(err.find("trace provides 2 cores"), std::string::npos)
+        << err;
+    // ...but is fine at its own width, and a single-core trace feeds
+    // any core count.
+    EXPECT_EQ(validateTraceWorkload("trace:" + path, 2), "");
+    std::filesystem::remove(path);
+}
+
+TEST(TraceWorkloadTest, ScenarioValidationRejectsUnknownPath)
+{
+    Scenario s;
+    s.name = "t";
+    s.workloads = {"trace:/nonexistent/wl.trc2"};
+    const std::string err = validateScenario(s);
+    EXPECT_NE(err.find("$.workloads[0]"), std::string::npos) << err;
+    EXPECT_NE(err.find("/nonexistent/wl.trc2"), std::string::npos)
+        << err;
+
+    // The same trace name accepted by a scenario once the file exists.
+    const std::string path = traceTempPath("ok.trc2");
+    {
+        std::string werr;
+        auto w = TraceWriter::create(path, TraceFormat::Sliptrc2, 1,
+                                     &werr);
+        ASSERT_NE(w, nullptr) << werr;
+        w->append(TraceRecord{0, 0x1000, false, 1});
+        ASSERT_EQ(w->close(), "");
+    }
+    s.workloads = {"trace:" + path};
+    EXPECT_EQ(validateScenario(s), "");
+    std::filesystem::remove(path);
+}
+
+TEST(TraceWorkloadTest, ResolvesThroughMixSourceRegistry)
+{
+    const std::string path = traceTempPath("mix.trc2");
+    {
+        std::string werr;
+        auto w = TraceWriter::create(path, TraceFormat::Sliptrc2, 1,
+                                     &werr);
+        ASSERT_NE(w, nullptr) << werr;
+        w->append(TraceRecord{0, 0x4000, false, 1});
+        w->append(TraceRecord{0, 0x4040, true, 1});
+        ASSERT_EQ(w->close(), "");
+    }
+    auto src = makeMixSource("trace:" + path, 0);
+    ASSERT_NE(src, nullptr);
+    MemAccess a;
+    ASSERT_TRUE(src->next(a));
+    EXPECT_EQ(a.addr, 0x4000u);
+    EXPECT_FALSE(a.isWrite());
+    ASSERT_TRUE(src->next(a));
+    EXPECT_EQ(a.addr, 0x4040u);
+    EXPECT_TRUE(a.isWrite());
+    // `trace:` sources loop: the stream restarts instead of ending.
+    ASSERT_TRUE(src->next(a));
+    EXPECT_EQ(a.addr, 0x4000u);
+    std::filesystem::remove(path);
 }
 
 } // namespace

@@ -38,6 +38,11 @@
  *                      discipline of DESIGN.md §5b (one producer per
  *                      core, merge pops index-major/core-minor) is
  *                      easy to break from anywhere else.
+ *   raw-fopen          std::fopen/freopen only inside mem/trace_io*
+ *                      (the buffered/mmap/zlib byte layer). Everything
+ *                      else goes through iostreams or TraceInput, so
+ *                      error handling and the path-and-offset error
+ *                      contract stay in one place.
  *
  * Suppression: append `// slip-lint: allow(rule)` (comma-separated
  * rules, or `allow(all)`) to the offending line or the line directly
@@ -85,6 +90,8 @@ constexpr RuleInfo kRules[] = {
     {"perf-scope", "perf::ScopedPhase/Scope must be a named variable"},
     {"spsc-confinement",
      "SpscQueue only in sim/pipeline.hh and sim/system.cc"},
+    {"raw-fopen",
+     "std::fopen/freopen confined to mem/trace_io*"},
 };
 
 /** Strip line and block comment text so rules match code only.
@@ -238,11 +245,15 @@ lintFile(const std::filesystem::path &path, const std::string &rel,
     static const std::regex perftmp(
         R"(perf::(ScopedPhase|Scope)\s*\()");
     static const std::regex spsc(R"(\bSpscQueue\b)");
+    // raw-fopen: fopen/freopen outside the trace byte layer.
+    static const std::regex rawfopen(
+        R"((^|[^\w:.])(std::)?f(open|reopen)\s*\()");
 
     const bool is_json_impl = rel == "util/json.hh" ||
                               rel == "util/json.cc";
     const bool spsc_ok =
         rel == "sim/pipeline.hh" || rel == "sim/system.cc";
+    const bool fopen_ok = rel.rfind("mem/trace_io", 0) == 0;
 
     for (std::size_t i = 0; i < code.size(); ++i) {
         const std::string &ln = code[i];
@@ -294,6 +305,11 @@ lintFile(const std::filesystem::path &path, const std::string &rel,
             report(i, "spsc-confinement",
                    "SpscQueue outside sim/pipeline.hh / sim/system.cc "
                    "(DESIGN.md §5b queue discipline)");
+
+        if (!fopen_ok && std::regex_search(ln, rawfopen))
+            report(i, "raw-fopen",
+                   "raw std::fopen outside mem/trace_io* (use "
+                   "iostreams, or TraceInput for trace bytes)");
     }
 }
 
