@@ -1,22 +1,30 @@
 #include "bench_registry.hh"
 
-#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <future>
 #include <map>
+#include <memory>
+#include <set>
+#include <sstream>
 #include <string>
 
+#include "mem/trace_io.hh"
 #include "obs/epoch_series.hh"
 #include "obs/metrics.hh"
+#include "obs/report.hh"
+#include "obs/telemetry.hh"
 #include "obs/trace.hh"
 #include "perf/perf_counters.hh"
 #include "scenario/canonical.hh"
 #include "scenario/scenario.hh"
+#include "sweep/status_stream.hh"
 #include "util/json.hh"
 #include "util/logging.hh"
+#include "workloads/trace_workload.hh"
 
 namespace slip {
 namespace bench {
@@ -61,6 +69,13 @@ usage(const char *argv0)
         "  --epoch-interval N  epoch length in references for the\n"
         "                    --metrics-json energy time series "
         "(default 50000)\n"
+        "  --report-dir D    write one slip-report-v1 JSON per distinct\n"
+        "                    run into directory D (implies the\n"
+        "                    --metrics-json collection switches)\n"
+        "  --status-ndjson F stream one NDJSON status event per line to\n"
+        "                    F (\"-\" = stdout): plan/start/finish/done\n"
+        "  --progress        in-place progress ticker with completion\n"
+        "                    fraction and ETA (replaces per-run lines)\n"
         "  --no-progress     suppress per-run progress lines\n"
         "All options also accept the --flag=value form.\n",
         argv0);
@@ -120,36 +135,31 @@ writeTimingJson(const std::string &path, const SweepRunner &runner,
         warn("could not write timing record to %s", path.c_str());
 }
 
-/** Wire-segment names of the EnergyCat bookkeeping categories. */
-const char *const kEnergyCatNames[] = {
-    "access", "movement", "metadata", "other"};
-
-json::Value
-levelEnergyJson(const CacheLevelStats &s)
+/** One level's stats as the report energy entry (obs/report.hh). */
+obs::ReportLevelEnergy
+reportLevel(const char *name, const CacheLevelStats &s)
 {
-    json::Value v = json::Value::object();
-    json::Value &seg = v["segments"];
-    seg = json::Value::object();
-    double total = 0.0;
-    for (unsigned i = 0; i < s.energyPj.size(); ++i) {
-        seg[kEnergyCatNames[i]] = s.energyPj[i];
-        total += s.energyPj[i];
-    }
-    v["causes"] = obs::ledgerJson(s.causePj);
-    v["total_pj"] = total;
-    return v;
+    obs::ReportLevelEnergy lvl;
+    lvl.name = name;
+    for (unsigned i = 0; i < s.energyPj.size(); ++i)
+        lvl.segmentsPj[i] = s.energyPj[i];
+    lvl.causesPj = s.causePj;
+    return lvl;
 }
 
 /**
  * The --metrics-json artifact: registry snapshot, perf counters, sweep
  * and result-cache statistics, the per-run energy-attribution ledger
  * (per level, by wire segment and by cause), and the per-epoch series.
+ * The epoch collection is drained once by the orchestrator and shared
+ * with the report writer, so both artifacts see every series.
  */
 void
 writeMetricsJson(
     const std::string &path, const SweepRunner &runner,
     const std::vector<RunSpec> &specs,
     const std::vector<std::shared_future<RunResult>> &futures,
+    const std::vector<obs::EpochSeries> &epoch_series,
     double wall_seconds)
 {
     json::Value root = json::Value::object();
@@ -171,8 +181,8 @@ writeMetricsJson(
     for (const auto &kv : unique) {
         const RunResult &r = *kv.second;
         json::Value run = json::Value::object();
-        run["l2"] = levelEnergyJson(r.l2);
-        run["l3"] = levelEnergyJson(r.l3);
+        run["l2"] = obs::levelEnergyJson(reportLevel("l2", r.l2));
+        run["l3"] = obs::levelEnergyJson(reportLevel("l3", r.l3));
         json::Value dram = json::Value::object();
         dram["demand_pj"] = r.dramDemandPj;
         dram["metadata_pj"] = r.dramMetadataPj;
@@ -185,7 +195,7 @@ writeMetricsJson(
 
     json::Value &epochs = root["epochs"];
     epochs = json::Value::array();
-    for (const auto &series : obs::takeEpochSeries())
+    for (const auto &series : epoch_series)
         epochs.push(obs::epochSeriesJson(series));
 
     std::ofstream os(path);
@@ -193,6 +203,147 @@ writeMetricsJson(
     os << '\n';
     if (!os.good())
         warn("could not write metrics to %s", path.c_str());
+}
+
+/** Content hash(es) of a spec's `trace:` workloads, "" when none. */
+std::string
+specTraceHash(const RunSpec &spec)
+{
+    std::string hashes;
+    for (const std::string *b : {&spec.benchmark, &spec.benchmarkB}) {
+        if (b->empty() || !isTraceWorkload(*b))
+            continue;
+        std::string err;
+        const std::uint64_t h =
+            traceFileHash(traceWorkloadPath(*b), &err);
+        if (!err.empty())
+            continue;  // validated earlier; report the runnable state
+        std::ostringstream os;
+        os << std::hex << h;
+        if (!hashes.empty())
+            hashes += "+";
+        hashes += os.str();
+    }
+    return hashes;
+}
+
+/**
+ * Write one slip-report-v1 artifact per distinct run into @p dir.
+ * Provenance comes from the RunSpec (plus the scenario name when the
+ * run was scenario-driven), the deterministic sections from the
+ * RunResult and the drained epoch series, and the volatile sections
+ * from the process-wide observability state.
+ */
+void
+writeReports(const std::string &dir, const SweepRunner &runner,
+             const std::vector<RunSpec> &specs,
+             const std::vector<std::shared_future<RunResult>> &futures,
+             const std::map<std::string, std::string> &scenario_names,
+             const std::vector<obs::EpochSeries> &epoch_series)
+{
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    if (ec) {
+        warn("could not create report dir %s: %s", dir.c_str(),
+             ec.message().c_str());
+        return;
+    }
+
+    // Volatile process-wide sections, shared by every report.
+    const json::Value metrics = obs::metricsJson();
+    const json::Value perf_stats = perf::toJson(perf::snapshot());
+    const json::Value cache_stats = cacheStatsJson(runner.cache());
+
+    // Per-key timing from the completion records (first completion of
+    // the key; duplicates coalesce in the runner).
+    std::map<std::string, const SweepRunner::RunRecord *> timing;
+    const auto records = runner.records();
+    for (const auto &rec : records)
+        timing.emplace(rec.key, &rec);
+
+    std::map<std::string, const obs::EpochSeries *> series_by_key;
+    for (const auto &series : epoch_series)
+        series_by_key.emplace(series.label, &series);
+
+    std::map<std::string, const RunSpec *> unique;
+    std::vector<RunResult> results(futures.size());
+    std::map<std::string, const RunResult *> result_by_key;
+    for (std::size_t i = 0; i < futures.size(); ++i) {
+        results[i] = futures[i].get();
+        unique.emplace(specs[i].key(), &specs[i]);
+        result_by_key.emplace(specs[i].key(), &results[i]);
+    }
+
+    std::size_t written = 0;
+    for (const auto &kv : unique) {
+        const RunSpec &spec = *kv.second;
+        const RunResult &r = *result_by_key.at(kv.first);
+
+        obs::RunReportData report;
+        obs::ReportProvenance &prov = report.provenance;
+        prov.runKey = kv.first;
+        prov.label = spec.label();
+        prov.policy = policyCliName(spec.policy);
+        prov.workload = spec.isMix()
+                            ? spec.benchmark + "+" + spec.benchmarkB
+                            : spec.benchmark;
+        const auto sit = scenario_names.find(kv.first);
+        if (sit != scenario_names.end())
+            prov.scenario = sit->second;
+        prov.hierarchyKey = spec.opts.hierarchy.key();
+        prov.cacheKeyVersion = kCacheKeyVersion;
+        prov.traceHash = specTraceHash(spec);
+        prov.runThreads = spec.opts.runThreads;
+        prov.refs = spec.opts.refs;
+        prov.warmup = spec.opts.warmup;
+
+        report.levels.push_back(reportLevel("l2", r.l2));
+        report.levels.push_back(reportLevel("l3", r.l3));
+        report.corePj = r.instructions * spec.opts.tech.corePjPerInstr;
+        report.l1Pj = r.l1EnergyPj;
+        report.dramDemandPj = r.dramDemandPj;
+        report.dramMetadataPj = r.dramMetadataPj;
+        report.dramTotalPj = r.dramEnergyPj;
+        report.fullSystemPj = r.fullSystemPj;
+
+        report.cycles = r.cycles;
+        report.instructions = r.instructions;
+        report.dramReads = r.dramReads;
+        report.dramWrites = r.dramWrites;
+        report.dramMetaAccesses = r.dramMetaAccesses;
+        report.dramTrafficLines = r.dramTrafficLines;
+        report.tlbMisses = r.tlbMisses;
+        report.eouOps = r.eouOps;
+
+        // Cached runs re-load results without re-simulating, so they
+        // produce no epoch series; the report omits the section.
+        const auto eit = series_by_key.find(kv.first);
+        if (eit != series_by_key.end())
+            report.epochs = obs::epochSeriesJson(*eit->second);
+
+        const auto tit = timing.find(kv.first);
+        if (tit != timing.end()) {
+            report.hasTiming = true;
+            report.seconds = tit->second->seconds;
+            report.cached = tit->second->cached;
+        }
+        report.metrics = metrics;
+        report.perf = perf_stats;
+        report.resultCache = cache_stats;
+
+        const std::string path =
+            dir + "/" + obs::reportFileName(kv.first);
+        std::ofstream os(path);
+        obs::reportJson(report).write(os);
+        os << '\n';
+        if (!os.good()) {
+            warn("could not write report to %s", path.c_str());
+            continue;
+        }
+        ++written;
+    }
+    std::fprintf(stderr, "reports: wrote %zu report(s) to %s\n",
+                 written, dir.c_str());
 }
 
 void
@@ -298,6 +449,9 @@ benchOrchestratorMain(int argc, char **argv)
     std::string profile_json;
     std::string metrics_json;
     std::string trace_out;
+    std::string report_dir;
+    std::string status_ndjson;
+    bool ticker = false;
     std::uint64_t epoch_interval = obs::RunObservation().epochIntervalRefs;
 
     for (int i = 1; i < argc; ++i) {
@@ -353,8 +507,15 @@ benchOrchestratorMain(int argc, char **argv)
             epoch_interval = std::strtoull(value(), nullptr, 0);
             if (epoch_interval == 0)
                 fatal("--epoch-interval must be positive");
+        } else if (arg == "--report-dir") {
+            report_dir = value();
+        } else if (arg == "--status-ndjson") {
+            status_ndjson = value();
+        } else if (arg == "--progress") {
+            ticker = true;
         } else if (arg == "--no-progress") {
             progress = false;
+            ticker = false;
         } else if (arg == "--help" || arg == "-h") {
             usage(argv[0]);
             return 0;
@@ -430,7 +591,9 @@ benchOrchestratorMain(int argc, char **argv)
         perf::reset();
         perf::setEnabled(true);
     }
-    if (!metrics_json.empty()) {
+    // --report-dir needs the same collection switches as
+    // --metrics-json: registry on, epoch series per run.
+    if (!metrics_json.empty() || !report_dir.empty()) {
         obs::resetMetrics();
         obs::setMetricsEnabled(true);
         obs::RunObservation watch;
@@ -443,11 +606,48 @@ benchOrchestratorMain(int argc, char **argv)
         obs::setTraceEnabled(true);
     }
 
-    if (progress) {
-        runner.setProgress([](const SweepRunner::RunRecord &rec) {
-            std::fprintf(stderr, "[%3zu/%-3zu] %-28s %7.2fs%s\n",
-                         rec.done, rec.total, rec.label.c_str(),
-                         rec.seconds, rec.cached ? "  (cached)" : "");
+    std::unique_ptr<StatusStream> status;
+    if (!status_ndjson.empty()) {
+        std::string err;
+        status = StatusStream::open(status_ndjson, &err);
+        if (!status)
+            fatal("%s", err.c_str());
+    }
+    StatusStream *ss = status.get();
+    if (ss)
+        runner.setStart(
+            [ss](const std::string &key, const std::string &label) {
+                ss->emitStart(key, label);
+            });
+
+    if (progress || ss) {
+        const std::uint64_t tick0 = obs::monotonicNowNs();
+        const bool lines = progress && !ticker;
+        const bool tick = progress && ticker;
+        runner.setProgress([ss, lines, tick,
+                            tick0](const SweepRunner::RunRecord &rec) {
+            if (ss)
+                ss->emitFinish(rec);
+            if (tick) {
+                const double elapsed = obs::monotonicSecondsBetween(
+                    tick0, obs::monotonicNowNs());
+                const double pct =
+                    rec.total ? 100.0 * double(rec.done) /
+                                    double(rec.total)
+                              : 100.0;
+                std::fprintf(stderr,
+                             "\r[%3zu/%-3zu] %5.1f%%  eta %6.1fs  %-28s",
+                             rec.done, rec.total, pct,
+                             etaSeconds(rec.done, rec.total, elapsed),
+                             rec.label.c_str());
+                if (rec.done == rec.total)
+                    std::fputc('\n', stderr);
+            } else if (lines) {
+                std::fprintf(stderr, "[%3zu/%-3zu] %-28s %7.2fs%s\n",
+                             rec.done, rec.total, rec.label.c_str(),
+                             rec.seconds,
+                             rec.cached ? "  (cached)" : "");
+            }
         });
     }
 
@@ -459,7 +659,24 @@ benchOrchestratorMain(int argc, char **argv)
     for (const auto &sr : scenario_runs)
         specs.push_back(sr.second);
 
-    const auto t0 = std::chrono::steady_clock::now();
+    if (ss) {
+        // The plan is the deduplicated key set, in first-enqueue
+        // order; `slip-report status` checks finish events against it.
+        std::vector<std::string> keys;
+        std::set<std::string> seen;
+        for (const auto &s : specs) {
+            std::string k = s.key();
+            if (seen.insert(k).second)
+                keys.push_back(std::move(k));
+        }
+        ss->emitPlan(keys, runner.jobs(), SweepOptions().runThreads);
+    }
+
+    // Per-plan cache accounting: a long-lived process may run several
+    // plans; reports should count this plan's traffic only.
+    runner.cache().resetStats();
+
+    const std::uint64_t t0 = obs::monotonicNowNs();
     std::vector<std::shared_future<RunResult>> futures;
     futures.reserve(specs.size());
     for (const auto &s : specs)
@@ -469,9 +686,8 @@ benchOrchestratorMain(int argc, char **argv)
     // Futures become ready before the per-run progress hooks fire;
     // drain the pool so the summary prints after the last of them.
     runner.wait();
-    const double wall = std::chrono::duration<double>(
-                            std::chrono::steady_clock::now() - t0)
-                            .count();
+    const double wall =
+        obs::monotonicSecondsBetween(t0, obs::monotonicNowNs());
 
     const auto st = runner.stats();
     if (!specs.empty()) {
@@ -492,10 +708,26 @@ benchOrchestratorMain(int argc, char **argv)
                      (unsigned long long)cs.stores,
                      (unsigned long long)cs.corrupt, kCacheKeyVersion);
     }
+    if (ss)
+        ss->emitDone(st, wall);
     if (!timing_json.empty())
         writeTimingJson(timing_json, runner, wall);
+
+    // Drain the epoch collection exactly once; both the metrics
+    // artifact and the per-run reports consume the same series.
+    std::vector<obs::EpochSeries> epoch_series;
+    if (!metrics_json.empty() || !report_dir.empty())
+        epoch_series = obs::takeEpochSeries();
     if (!metrics_json.empty())
-        writeMetricsJson(metrics_json, runner, specs, futures, wall);
+        writeMetricsJson(metrics_json, runner, specs, futures,
+                         epoch_series, wall);
+    if (!report_dir.empty()) {
+        std::map<std::string, std::string> scenario_names;
+        for (const auto &sr : scenario_runs)
+            scenario_names.emplace(sr.second.key(), sr.first.name);
+        writeReports(report_dir, runner, specs, futures, scenario_names,
+                     epoch_series);
+    }
     if (!trace_out.empty())
         writeTraceJson(trace_out);
     if (!profile_json.empty()) {

@@ -1,0 +1,21 @@
+#include "obs/telemetry.hh"
+
+#include <chrono>
+
+namespace slip {
+namespace obs {
+
+std::uint64_t
+monotonicNowNs()
+{
+    // The sole sanctioned clock read of src/ (see the file comment).
+    // slip-lint: allow(monotonic-clock)
+    const auto now = std::chrono::steady_clock::now();
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            now.time_since_epoch())
+            .count());
+}
+
+} // namespace obs
+} // namespace slip

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * The one monotonic clock of the tree.
+ *
+ * Telemetry (sweep progress, NDJSON status events, perf phase
+ * timings, run-report wall-clock fields) needs durations, but the
+ * determinism discipline bans clock reads from simulation code: a
+ * clock value that leaks into results breaks byte-identical output
+ * across --jobs/--run-threads. Confining every steady_clock read to
+ * this translation unit makes the boundary machine-checkable — the
+ * slip-lint `monotonic-clock` rule flags any other use in src/ — and
+ * keeps the invariant auditable: callers receive opaque nanosecond
+ * readings and derived durations, never a wall-clock date, so nothing
+ * here can ever be mistaken for simulated time or folded into a
+ * result.
+ */
+
+#ifndef SLIP_OBS_TELEMETRY_HH
+#define SLIP_OBS_TELEMETRY_HH
+
+#include <cstdint>
+
+namespace slip {
+namespace obs {
+
+/**
+ * Monotonic nanoseconds since an arbitrary process-local origin.
+ * Readings are comparable only within one process.
+ */
+std::uint64_t monotonicNowNs();
+
+/** Seconds elapsed between two monotonicNowNs() readings. */
+inline double
+monotonicSecondsBetween(std::uint64_t t0_ns, std::uint64_t t1_ns)
+{
+    return static_cast<double>(t1_ns - t0_ns) * 1e-9;
+}
+
+} // namespace obs
+} // namespace slip
+
+#endif // SLIP_OBS_TELEMETRY_HH

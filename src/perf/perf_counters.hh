@@ -11,9 +11,9 @@
  * dumps the aggregated counters as JSON (schema in EXPERIMENTS.md).
  *
  * Profiling is disabled by default and costs one relaxed atomic load
- * per instrumented scope; when enabled, each scope adds two
- * steady_clock reads, so the numbers are indicative phase *shares*,
- * not absolute simulator speed. Counters are global relaxed atomics:
+ * per instrumented scope; when enabled, each scope adds two monotonic
+ * clock reads (obs/telemetry.hh), so the numbers are indicative phase
+ * *shares*, not absolute simulator speed. Counters are global relaxed atomics:
  * sweep worker threads accumulate into the same totals, so a profiled
  * sweep reports the aggregate across all runs.
  *
@@ -27,10 +27,10 @@
 
 #include <array>
 #include <atomic>
-#include <chrono>
 #include <cstdint>
 #include <iosfwd>
 
+#include "obs/telemetry.hh"
 #include "util/json.hh"
 
 namespace slip {
@@ -123,7 +123,7 @@ class ScopedPhase
         if (_entered) {
             _outermost = enterPhase(p);
             if (_outermost)
-                _t0 = std::chrono::steady_clock::now();
+                _t0 = obs::monotonicNowNs();
         }
     }
 
@@ -131,12 +131,7 @@ class ScopedPhase
     {
         if (_entered) {
             if (_outermost)
-                record(_phase,
-                       static_cast<std::uint64_t>(
-                           std::chrono::duration_cast<
-                               std::chrono::nanoseconds>(
-                               std::chrono::steady_clock::now() - _t0)
-                               .count()));
+                record(_phase, obs::monotonicNowNs() - _t0);
             exitPhase(_phase);
         }
     }
@@ -148,7 +143,7 @@ class ScopedPhase
     Phase _phase;
     bool _entered;
     bool _outermost = false;
-    std::chrono::steady_clock::time_point _t0;
+    std::uint64_t _t0 = 0;
 };
 
 /** The observability-facing name of the RAII scope. */

@@ -11,17 +11,24 @@
  *   slip-sim --list
  */
 
+#include <cctype>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 
 #include "mem/trace_io.hh"
+#include "obs/epoch_series.hh"
 #include "obs/metrics.hh"
+#include "obs/report.hh"
+#include "obs/telemetry.hh"
+#include "obs/trace.hh"
 #include "scenario/scenario.hh"
 #include "sim/stats_dump.hh"
 #include "sim/system.hh"
+#include "sweep/run_spec.hh"
 #include "workloads/spec_suite.hh"
 
 using namespace slip;
@@ -67,10 +74,21 @@ usage()
         "  --stats-json FILE   write the stats as JSON to FILE\n"
         "                      (enables the metrics registry, so the\n"
         "                      per-cause energy ledger is populated)\n"
+        "  --report FILE       write a slip-report-v1 run report to\n"
+        "                      FILE (provenance + energy ledger +\n"
+        "                      metrics + epoch series; diffable with\n"
+        "                      slip-report)\n"
+        "  --metrics-json FILE write the metrics-registry snapshot\n"
+        "                      (counters/gauges/histograms) to FILE\n"
+        "  --trace-out FILE    enable the decision tracer and write a\n"
+        "                      Chrome/Perfetto trace-event JSON\n"
+        "  --epoch-interval N  epoch length in references for the\n"
+        "                      --report energy series (default 50000)\n"
         "  --dump-trace FILE   also record core 0's reference stream\n"
         "                      to a SLIPTRC2 trace (replayable via\n"
         "                      --trace; .gz compresses)\n"
-        "  --list              list available benchmarks\n");
+        "  --list              list available benchmarks\n"
+        "All options also accept the --flag=value form.\n");
 }
 
 } // namespace
@@ -79,17 +97,34 @@ int
 main(int argc, char **argv)
 {
     std::string benchn, trace_path, scenario_path, stats_path,
-        stats_json_path, dump_path;
+        stats_json_path, dump_path, report_path, metrics_json_path,
+        trace_out_path;
     bool loop_trace = false;
     bool refs_set = false, warmup_set = false, seed_set = false;
     unsigned run_threads = 0;  // 0 = not given on the command line
     std::uint64_t refs = 2'000'000;
     std::uint64_t warmup = ~0ull;
+    std::uint64_t epoch_interval =
+        obs::RunObservation().epochIntervalRefs;
     SystemConfig cfg;
 
     for (int i = 1; i < argc; ++i) {
-        const std::string arg = argv[i];
+        std::string arg = argv[i];
+        // Accept both "--flag value" and "--flag=value" (parity with
+        // slip-bench).
+        std::string inline_value;
+        bool has_inline = false;
+        if (arg.size() > 2 && arg[0] == '-' && arg[1] == '-') {
+            const auto eq = arg.find('=');
+            if (eq != std::string::npos) {
+                inline_value = arg.substr(eq + 1);
+                arg.resize(eq);
+                has_inline = true;
+            }
+        }
         auto value = [&]() -> std::string {
+            if (has_inline)
+                return inline_value;
             if (i + 1 >= argc)
                 fatal("missing value for %s", arg.c_str());
             return argv[++i];
@@ -165,6 +200,17 @@ main(int argc, char **argv)
             stats_path = value();
         } else if (arg == "--stats-json") {
             stats_json_path = value();
+        } else if (arg == "--report") {
+            report_path = value();
+        } else if (arg == "--metrics-json") {
+            metrics_json_path = value();
+        } else if (arg == "--trace-out") {
+            trace_out_path = value();
+        } else if (arg == "--epoch-interval") {
+            epoch_interval =
+                std::strtoull(value().c_str(), nullptr, 0);
+            if (epoch_interval == 0)
+                fatal("--epoch-interval must be positive");
         } else if (arg == "--dump-trace") {
             dump_path = value();
         } else {
@@ -200,11 +246,27 @@ main(int argc, char **argv)
         cfg.runThreads = run_threads;
 
     // The JSON dump carries the per-cause energy ledger, which is only
-    // accumulated while the metrics registry is live.
-    if (!stats_json_path.empty())
+    // accumulated while the metrics registry is live; the run report
+    // and the metrics snapshot need the same.
+    if (!stats_json_path.empty() || !report_path.empty() ||
+        !metrics_json_path.empty())
         obs::setMetricsEnabled(true);
+    if (!trace_out_path.empty()) {
+        obs::resetTrace();
+        obs::setTraceEnabled(true);
+    }
+    // The report carries an epoch energy series when the interval
+    // divides into the run.
+    if (!report_path.empty())
+        cfg.epochIntervalRefs = epoch_interval;
 
     System sys(cfg);
+
+    obs::EpochSeries epoch_series;
+    if (!report_path.empty()) {
+        epoch_series.intervalRefs = epoch_interval;
+        sys.setEpochSink(&epoch_series);
+    }
 
     // One source per core.
     std::vector<std::unique_ptr<AccessSource>> owned;
@@ -272,7 +334,10 @@ main(int argc, char **argv)
            policyName(cfg.policy),
            static_cast<unsigned long long>(refs),
            static_cast<unsigned long long>(warmup), cfg.numCores);
+    const std::uint64_t run_t0 = obs::monotonicNowNs();
     sys.run(sources, refs, warmup);
+    const double run_seconds =
+        obs::monotonicSecondsBetween(run_t0, obs::monotonicNowNs());
 
     if (dump_writer) {
         const std::string werr = dump_writer->close();
@@ -301,6 +366,113 @@ main(int argc, char **argv)
         statsToJson(sys).write(os);
         os << '\n';
         inform("JSON stats written to %s", stats_json_path.c_str());
+    }
+
+    if (!report_path.empty()) {
+        sys.setEpochSink(nullptr);
+
+        obs::RunReportData report;
+        obs::ReportProvenance &prov = report.provenance;
+        const std::string workload =
+            !scenario_path.empty() ? [&] {
+                std::string w;
+                for (const auto &name : scenario.workloads)
+                    w += (w.empty() ? "" : "+") + name;
+                return w;
+            }()
+            : !trace_path.empty() ? "trace:" + trace_path
+                                  : benchn;
+        // Descriptive, filename-safe run id (slip-sim runs have no
+        // sweep cache key).
+        std::string key = "sim_" + workload + "_" +
+                          policyCliName(cfg.policy);
+        for (char &c : key)
+            if (!std::isalnum(static_cast<unsigned char>(c)) &&
+                c != '.' && c != '_' && c != '-')
+                c = '-';
+        prov.runKey = key;
+        prov.label = workload;
+        prov.policy = policyCliName(cfg.policy);
+        prov.workload = workload;
+        prov.scenario = scenario.name;
+        prov.hierarchyKey = cfg.hierarchy.key();
+        prov.cacheKeyVersion = kCacheKeyVersion;
+        if (!trace_path.empty()) {
+            std::string herr;
+            const std::uint64_t h = traceFileHash(trace_path, &herr);
+            if (herr.empty()) {
+                std::ostringstream hs;
+                hs << std::hex << h;
+                prov.traceHash = hs.str();
+            }
+        }
+        prov.runThreads = cfg.runThreads;
+        prov.refs = refs;
+        prov.warmup = warmup;
+
+        // Outer cache levels (level 0 is the L1, reported as a
+        // single energy figure like the sweep results).
+        for (unsigned i = 1; i < sys.numLevels(); ++i) {
+            obs::ReportLevelEnergy lvl;
+            lvl.name = sys.levelName(i);
+            const CacheLevelStats s = sys.combinedLevelStats(i);
+            for (unsigned e = 0; e < s.energyPj.size(); ++e)
+                lvl.segmentsPj[e] = s.energyPj[e];
+            lvl.causesPj = s.causePj;
+            report.levels.push_back(std::move(lvl));
+        }
+        report.corePj =
+            sys.instructions() * cfg.tech.corePjPerInstr;
+        report.l1Pj = sys.l1EnergyPj();
+        report.dramDemandPj = sys.dram().demandEnergyPj();
+        report.dramMetadataPj = sys.dram().metadataEnergyPj();
+        report.dramTotalPj = sys.dram().energyPj();
+        report.fullSystemPj = sys.fullSystemEnergyPj();
+
+        report.cycles = sys.totalCycles();
+        report.instructions = sys.instructions();
+        report.dramReads = double(sys.dram().reads());
+        report.dramWrites = double(sys.dram().writes());
+        report.dramMetaAccesses =
+            double(sys.dram().metadataAccesses());
+        report.dramTrafficLines = sys.dram().totalTrafficLines();
+        for (unsigned c = 0; c < sys.numCores(); ++c)
+            report.tlbMisses += double(sys.tlb(c).misses());
+        report.eouOps = double(sys.eouOperations());
+
+        if (!epoch_series.records.empty()) {
+            epoch_series.label = prov.runKey;
+            report.epochs = obs::epochSeriesJson(epoch_series);
+        }
+        report.hasTiming = true;
+        report.seconds = run_seconds;
+        report.cached = false;
+        report.metrics = obs::metricsJson();
+
+        std::ofstream os(report_path);
+        if (!os)
+            fatal("cannot write report to '%s'", report_path.c_str());
+        obs::reportJson(report).write(os);
+        os << '\n';
+        inform("run report written to %s", report_path.c_str());
+    }
+    if (!metrics_json_path.empty()) {
+        std::ofstream os(metrics_json_path);
+        if (!os)
+            fatal("cannot write metrics to '%s'",
+                  metrics_json_path.c_str());
+        obs::metricsJson().write(os);
+        os << '\n';
+        inform("metrics written to %s", metrics_json_path.c_str());
+    }
+    if (!trace_out_path.empty()) {
+        std::ofstream os(trace_out_path);
+        if (!os)
+            fatal("cannot write trace to '%s'",
+                  trace_out_path.c_str());
+        obs::writeChromeJson(os);
+        inform("decision trace written to %s",
+               trace_out_path.c_str());
     }
     return 0;
 }

@@ -58,7 +58,7 @@ class ResultCache
      */
     void store(const std::string &key, const RunResult &r) const;
 
-    /** Activity counters since construction (relaxed snapshot). */
+    /** Activity counters since construction or resetStats(). */
     Stats stats() const
     {
         Stats s;
@@ -67,6 +67,20 @@ class ResultCache
         s.stores = _counters->stores.load(std::memory_order_relaxed);
         s.corrupt = _counters->corrupt.load(std::memory_order_relaxed);
         return s;
+    }
+
+    /**
+     * Zero the activity counters (every copy sharing them observes
+     * the reset). The orchestrator calls this at the start of each
+     * sweep plan so per-plan reports count that plan's traffic, not
+     * the cumulative total of a long-lived process.
+     */
+    void resetStats() const
+    {
+        _counters->hits.store(0, std::memory_order_relaxed);
+        _counters->misses.store(0, std::memory_order_relaxed);
+        _counters->stores.store(0, std::memory_order_relaxed);
+        _counters->corrupt.store(0, std::memory_order_relaxed);
     }
 
   private:

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Live sweep telemetry: a structured NDJSON status stream.
+ *
+ * `slip-bench --status-ndjson FILE|-` attaches one StatusStream to
+ * the SweepRunner hooks and emits one JSON object per line (compact,
+ * through util/json, so key order and number formatting follow the
+ * tree-wide rules). The event grammar (documented in EXPERIMENTS.md
+ * §Run reports & regression checks):
+ *
+ *   plan    plan size, worker/pipeline thread counts, and the full
+ *           run-key set — the contract `slip-report status` checks
+ *           finish events against
+ *   start   a worker picked the run up (before the cache probe)
+ *   finish  the run completed: cached flag, monotonic duration,
+ *           completion fraction, and an ETA extrapolated from the
+ *           elapsed time per completed run
+ *   done    sweep summary (executed/cached split, wall seconds)
+ *
+ * Timestamps (`ts_ms`) are monotonic milliseconds since the stream
+ * opened (obs/telemetry.hh) — durations, never wall-clock dates, so
+ * the no-wall-clock lint discipline holds. Emission is serialized on
+ * an internal mutex and flushed per line, so a consumer tailing the
+ * file always sees whole events. Telemetry is observation only: with
+ * the flag absent nothing here runs, and the sweep's results and
+ * default output stay byte-identical either way.
+ */
+
+#ifndef SLIP_SWEEP_STATUS_STREAM_HH
+#define SLIP_SWEEP_STATUS_STREAM_HH
+
+#include <cstddef>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "sweep/sweep_runner.hh"
+
+namespace slip {
+
+/** Remaining-runs ETA from the observed pace (0 when done == 0). */
+double etaSeconds(std::size_t done, std::size_t total,
+                  double elapsed_seconds);
+
+class StatusStream
+{
+  public:
+    /**
+     * Open a stream writing to @p path ("-" = stdout). Returns null
+     * with @p err set when the file cannot be created.
+     */
+    static std::unique_ptr<StatusStream>
+    open(const std::string &path, std::string *err);
+
+    void emitPlan(const std::vector<std::string> &keys, unsigned jobs,
+                  unsigned run_threads);
+    void emitStart(const std::string &key, const std::string &label);
+    void emitFinish(const SweepRunner::RunRecord &rec);
+    void emitDone(const SweepRunner::Stats &stats,
+                  double wall_seconds);
+
+  private:
+    explicit StatusStream(const std::string &path);
+
+    /** Monotonic milliseconds since the stream opened. */
+    double nowMs() const;
+
+    std::mutex _mu;
+    std::ofstream _file;   ///< unused when writing to stdout
+    std::ostream *_os;
+    std::uint64_t _originNs;
+};
+
+} // namespace slip
+
+#endif // SLIP_SWEEP_STATUS_STREAM_HH

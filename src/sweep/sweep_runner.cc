@@ -1,9 +1,9 @@
 #include "sweep/sweep_runner.hh"
 
-#include <chrono>
 #include <utility>
 
 #include "obs/metrics.hh"
+#include "obs/telemetry.hh"
 
 namespace slip {
 
@@ -93,6 +93,13 @@ SweepRunner::setProgress(ProgressFn fn)
 }
 
 void
+SweepRunner::setStart(StartFn fn)
+{
+    std::unique_lock<std::mutex> lock(_progressMu);
+    _start = std::move(fn);
+}
+
+void
 SweepRunner::workerLoop()
 {
     for (;;) {
@@ -120,8 +127,13 @@ SweepRunner::workerLoop()
 void
 SweepRunner::execute(Task &task)
 {
-    using clock = std::chrono::steady_clock;
-    const auto t0 = clock::now();
+    {
+        std::unique_lock<std::mutex> lock(_progressMu);
+        if (_start)
+            _start(task.spec.key(), task.spec.label());
+    }
+
+    const std::uint64_t t0 = obs::monotonicNowNs();
 
     RunResult r;
     bool cached = true;
@@ -137,7 +149,7 @@ SweepRunner::execute(Task &task)
     }
 
     const double secs =
-        std::chrono::duration<double>(clock::now() - t0).count();
+        obs::monotonicSecondsBetween(t0, obs::monotonicNowNs());
 
     RunRecord rec;
     rec.key = task.spec.key();

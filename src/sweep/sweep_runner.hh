@@ -60,6 +60,16 @@ class SweepRunner
     using ProgressFn = std::function<void(const RunRecord &)>;
 
     /**
+     * Called when a worker picks a run up, before the cache probe or
+     * simulation (the NDJSON `start` event). Serialized with the
+     * progress hook on one mutex, so start/finish interleavings are
+     * well-ordered per run.
+     */
+    using StartFn =
+        std::function<void(const std::string &key,
+                           const std::string &label)>;
+
+    /**
      * @param jobs worker threads; 0 = std::thread::hardware_concurrency
      */
     explicit SweepRunner(unsigned jobs = 0,
@@ -92,6 +102,7 @@ class SweepRunner
     std::vector<RunRecord> records() const;
 
     void setProgress(ProgressFn fn);
+    void setStart(StartFn fn);
 
   private:
     struct Task
@@ -118,6 +129,7 @@ class SweepRunner
 
     std::mutex _progressMu;
     ProgressFn _progress;
+    StartFn _start;
 
     std::vector<std::thread> _workers;
 };

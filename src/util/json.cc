@@ -213,6 +213,51 @@ Value::dump() const
     return os.str();
 }
 
+void
+Value::writeCompact(std::ostream &os) const
+{
+    switch (_kind) {
+      case Kind::Null:
+      case Kind::Bool:
+      case Kind::Int:
+      case Kind::UInt:
+      case Kind::Double:
+      case Kind::String:
+        write(os);
+        break;
+      case Kind::Array: {
+          os << '[';
+          for (std::size_t i = 0; i < _arr.size(); ++i) {
+              if (i)
+                  os << ',';
+              _arr[i].writeCompact(os);
+          }
+          os << ']';
+          break;
+      }
+      case Kind::Object: {
+          os << '{';
+          std::size_t i = 0;
+          for (const auto &kv : _obj) {
+              if (i++)
+                  os << ',';
+              os << '"' << escape(kv.first) << "\":";
+              kv.second.writeCompact(os);
+          }
+          os << '}';
+          break;
+      }
+    }
+}
+
+std::string
+Value::dumpCompact() const
+{
+    std::ostringstream os;
+    writeCompact(os);
+    return os.str();
+}
+
 namespace {
 
 struct Parser

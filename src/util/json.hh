@@ -99,6 +99,14 @@ class Value
     std::string dump() const;
 
     /**
+     * Serialize on one line with no whitespace (same key order and
+     * double formatting as write). This is the NDJSON emission path:
+     * one event per line, parseable back by Value::parse.
+     */
+    void writeCompact(std::ostream &os) const;
+    std::string dumpCompact() const;
+
+    /**
      * Parse @p text into @p out. Returns false (with a message in
      * @p err when given) on malformed input or trailing garbage.
      */

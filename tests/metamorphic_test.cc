@@ -21,6 +21,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/epoch_series.hh"
+#include "obs/metrics.hh"
 #include "sim/stats_dump.hh"
 #include "sim/system.hh"
 #include "sweep/sweep_runner.hh"
@@ -197,13 +199,21 @@ TEST(MetamorphicJobsTest, ResultsIdenticalForAnyJobsValue)
     }
 }
 
-/** Full stats dump of one run of @p cfg at @p run_threads. */
+/** Full stats dump plus epoch-series JSON of one run of @p cfg at
+ *  @p run_threads. The epoch series rides along so the byte-identity
+ *  check also covers the --epoch-interval output that run reports
+ *  embed — the sharded pipeline must roll epochs at the same merged
+ *  reference ticks the serial loop does. */
 std::string
 dumpAtThreads(SystemConfig cfg, unsigned run_threads,
               const std::vector<std::string> &benchmarks)
 {
     cfg.runThreads = run_threads;
+    cfg.epochIntervalRefs = 5000;
     System sys(cfg);
+    obs::EpochSeries series;
+    series.intervalRefs = cfg.epochIntervalRefs;
+    sys.setEpochSink(&series);
     std::vector<std::unique_ptr<AccessSource>> owned;
     std::vector<AccessSource *> sources;
     for (unsigned c = 0; c < cfg.numCores; ++c) {
@@ -213,8 +223,11 @@ dumpAtThreads(SystemConfig cfg, unsigned run_threads,
         sources.push_back(owned.back().get());
     }
     sys.run(sources, kRefs, kWarmup);
+    sys.setEpochSink(nullptr);
+    EXPECT_GT(series.records.size(), 1u) << "vacuous epoch check";
     std::ostringstream os;
     dumpStats(sys, os);
+    os << obs::epochSeriesJson(series).dump() << '\n';
     return os.str();
 }
 
@@ -247,6 +260,12 @@ privateLevel(const char *name, std::size_t size_kb, unsigned ways,
  */
 TEST(MetamorphicRunThreadsTest, DumpIdenticalForAnyThreadCount)
 {
+    // Cause-ledger deltas only accumulate with metrics on, so enable
+    // collection (as --report does) for the epoch-series comparison;
+    // restored below — observation never changes outcomes.
+    const bool metrics_before = obs::metricsEnabled();
+    obs::setMetricsEnabled(true);
+
     struct Case
     {
         const char *what;
@@ -321,6 +340,7 @@ TEST(MetamorphicRunThreadsTest, DumpIdenticalForAnyThreadCount)
                 << c.what << " diverged at run_threads=" << threads;
         }
     }
+    obs::setMetricsEnabled(metrics_before);
 }
 
 } // namespace

@@ -262,5 +262,40 @@ TEST(ResultCache, DisabledCacheNeverHitsOrStores)
     EXPECT_FALSE(cache.lookup("anything", out));
 }
 
+/** resetStats() starts a fresh accounting window: the orchestrator
+ *  calls it per plan so reports carry that plan's traffic only, and
+ *  every copy sharing the counters must observe the reset. */
+TEST(ResultCache, ResetStatsStartsFreshWindow)
+{
+    TempCacheDir dir;
+    const ResultCache cache(dir.path());
+    const ResultCache copy = cache;  // shares the counters
+    const RunResult r = sampleResult();
+
+    RunResult out;
+    EXPECT_FALSE(cache.lookup("plan1", out));  // miss
+    cache.store("plan1", r);                   // store
+    EXPECT_TRUE(cache.lookup("plan1", out));   // hit
+    auto st = cache.stats();
+    EXPECT_EQ(st.hits, 1u);
+    EXPECT_EQ(st.misses, 1u);
+    EXPECT_EQ(st.stores, 1u);
+
+    copy.resetStats();
+    st = cache.stats();
+    EXPECT_EQ(st.hits, 0u);
+    EXPECT_EQ(st.misses, 0u);
+    EXPECT_EQ(st.stores, 0u);
+    EXPECT_EQ(st.corrupt, 0u);
+
+    // The next window counts only its own traffic, not the history.
+    EXPECT_TRUE(cache.lookup("plan1", out));
+    EXPECT_FALSE(cache.lookup("plan2", out));
+    st = copy.stats();
+    EXPECT_EQ(st.hits, 1u);
+    EXPECT_EQ(st.misses, 1u);
+    EXPECT_EQ(st.stores, 0u);
+}
+
 } // namespace
 } // namespace slip

@@ -12,7 +12,12 @@
  *                      wall-clock reads (system_clock,
  *                      high_resolution_clock, time(), gettimeofday,
  *                      localtime/gmtime) in src/. Seeded SplitMix/
- *                      xorshift streams and steady_clock are fine.
+ *                      xorshift streams are fine.
+ *   monotonic-clock    steady_clock is confined to obs/telemetry.cc
+ *                      (one pragma'd TU exporting monotonicNowNs()).
+ *                      Durations are observation, not simulation
+ *                      input, and funneling every clock read through
+ *                      one function keeps that auditable.
  *   unordered-iteration No iteration over std::unordered_map/_set
  *                      (range-for or begin()/cbegin()) — hash
  *                      iteration order is libstdc++-version- and
@@ -82,6 +87,8 @@ struct RuleInfo
 constexpr RuleInfo kRules[] = {
     {"nondeterminism",
      "no rand()/random_device/wall-clock reads in src/"},
+    {"monotonic-clock",
+     "steady_clock confined to the obs/telemetry TU"},
     {"unordered-iteration",
      "no iteration over unordered_map/unordered_set"},
     {"json-emission", "JSON is emitted through util/json only"},
@@ -232,6 +239,8 @@ lintFile(const std::filesystem::path &path, const std::string &rel,
     // nondeterminism -------------------------------------------------
     static const std::regex nondet(
         R"((^|[^\w:.])(rand|srand)\s*\(|std::random_device|random_device\s*\{|system_clock|high_resolution_clock|gettimeofday|localtime|gmtime|(^|[^\w:.])time\s*\(\s*(NULL|nullptr|0)\s*\))");
+    // monotonic-clock ------------------------------------------------
+    static const std::regex monoclock(R"(\bsteady_clock\b)");
     // unordered-iteration --------------------------------------------
     const std::set<std::string> unames = unorderedNames(code);
     // json-emission: a string literal that carries a JSON key
@@ -263,7 +272,13 @@ lintFile(const std::filesystem::path &path, const std::string &rel,
         if (std::regex_search(ln, nondet))
             report(i, "nondeterminism",
                    "RNG or wall-clock primitive banned in src/ "
-                   "(use seeded streams / steady_clock)");
+                   "(use seeded streams; durations via "
+                   "obs::monotonicNowNs)");
+
+        if (std::regex_search(ln, monoclock))
+            report(i, "monotonic-clock",
+                   "steady_clock outside obs/telemetry.cc; call "
+                   "obs::monotonicNowNs() instead");
 
         for (const std::string &name : unames) {
             const std::regex iter(
