@@ -391,16 +391,19 @@ scenarioRunSpec(const Scenario &s)
 
     if (s.cores == 1)
         return RunSpec::single(s.workloads[0], pk, opts);
-    if (s.cores == 2) {
-        const std::string &b = s.workloads.size() == 1
-                                   ? s.workloads[0]
-                                   : s.workloads[1];
-        return RunSpec::mix(s.workloads[0], b, pk, opts);
+    if (s.cores == 2 && s.workloads.size() == 2 &&
+        s.workloads[0] != s.workloads[1])
+        return RunSpec::mix(s.workloads[0], s.workloads[1], pk, opts);
+    if (s.workloads.size() > 1) {
+        // Heterogeneous mixes beyond two cores have no RunSpec shape
+        // yet; replicated runs cover the true-multicore scenarios.
+        fatal("scenario '%s': the sweep engine replicates one "
+              "workload across N cores; a %zu-entry heterogeneous "
+              "mix on %u cores is only runnable via slip-sim "
+              "--scenario",
+              s.name.c_str(), s.workloads.size(), s.cores);
     }
-    fatal("scenario '%s': the sweep engine supports 1 or 2 cores, "
-          "got %u",
-          s.name.c_str(), s.cores);
-    return RunSpec{};  // unreachable
+    return RunSpec::replicated(s.workloads[0], s.cores, pk, opts);
 }
 
 void

@@ -66,6 +66,13 @@ struct CacheLevelConfig
     LevelEnergyParams energy;
     std::array<unsigned, kNumSublevels> sublevelWays = {4, 4, 8};
     unsigned waysPerRow = 4;
+    /**
+     * Low line-address bits consumed by slice interleaving before set
+     * selection. A slice of an S-way-interleaved shared level gets
+     * setShift = log2(S), so lines that map to it (line % S == slice)
+     * spread over all of its sets; 0 for monolithic levels.
+     */
+    unsigned setShift = 0;
     ReplKind repl = ReplKind::Lru;
     unsigned timestampBits = 6;
     double movementQueuePj = 0.3;
@@ -168,7 +175,8 @@ class CacheLevel
     /** Set index of a line address (set counts are powers of two). */
     unsigned setIndex(Addr line) const
     {
-        return static_cast<unsigned>(line & _setMask);
+        return static_cast<unsigned>((line >> _cfg.setShift) &
+                                     _setMask);
     }
 
     /** Mutable access to a line (controllers and tests). */

@@ -1,5 +1,9 @@
 #include "mem/trace_import.hh"
 
+#include <array>
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
 #include <cstring>
 
 #include "mem/trace_io.hh"
@@ -105,6 +109,220 @@ importChampSimTrace(const std::string &inPath,
         return inPath + ": ChampSim trace has no memory references "
                         "in " +
                std::to_string(stats.instructions) + " instructions";
+
+    err = writer->close();
+    if (!err.empty())
+        return err;
+    if (statsOut)
+        *statsOut = stats;
+    return "";
+}
+
+// ---------------------------------------------------------------------
+// Sniper-style cpu_trace text importer
+// ---------------------------------------------------------------------
+
+namespace {
+
+/** SLIPTRC2 core-table ceiling (matches the simulator's core limit). */
+constexpr unsigned kMaxCpuTraceCores = 64;
+
+/** Pull decoded bytes out of a TraceInput one line at a time. */
+class LineReader
+{
+  public:
+    explicit LineReader(TraceInput &in) : _in(in) {}
+
+    /** @return false at end of input (err empty) or on error. */
+    bool
+    next(std::string &line, std::string &err)
+    {
+        line.clear();
+        for (;;) {
+            if (_pos == _buf.size()) {
+                _buf.resize(64 * 1024);
+                const std::size_t got =
+                    _in.read(_buf.data(), _buf.size(), err);
+                if (!err.empty())
+                    return false;
+                _buf.resize(got);
+                _pos = 0;
+                if (got == 0)
+                    return !line.empty();
+            }
+            const char c = _buf[_pos++];
+            if (c == '\n')
+                return true;
+            line.push_back(c);
+        }
+    }
+
+  private:
+    TraceInput &_in;
+    std::string _buf;
+    std::size_t _pos = 0;
+};
+
+struct CpuTraceLine
+{
+    unsigned core = 0;
+    bool write = false;
+    std::uint64_t addr = 0;
+    bool hasIcount = false;
+    std::uint64_t icount = 0;
+};
+
+/** Parse one comment-stripped line; "" on success or the defect. */
+std::string
+parseCpuTraceLine(const std::string &line, CpuTraceLine &out)
+{
+    std::array<std::string, 5> f;
+    std::size_t nf = 0, i = 0;
+    while (i < line.size()) {
+        while (i < line.size() && std::isspace(
+                   static_cast<unsigned char>(line[i])))
+            ++i;
+        const std::size_t start = i;
+        while (i < line.size() && !std::isspace(
+                   static_cast<unsigned char>(line[i])))
+            ++i;
+        if (i == start)
+            break;
+        if (nf == f.size())
+            return "trailing fields (expected "
+                   "<core> <R|W> <addr> [<icount>])";
+        f[nf++] = line.substr(start, i - start);
+    }
+    if (nf < 3)
+        return "expected <core> <R|W> <addr> [<icount>], got " +
+               std::to_string(nf) + " field(s)";
+    if (nf > 4)
+        return "trailing fields (expected "
+               "<core> <R|W> <addr> [<icount>])";
+
+    const auto parseU64 = [](const std::string &s, int base,
+                             std::uint64_t &v) {
+        char *end = nullptr;
+        errno = 0;
+        v = std::strtoull(s.c_str(), &end, base);
+        return errno == 0 && end && *end == '\0' && end != s.c_str();
+    };
+
+    std::uint64_t core = 0;
+    if (!parseU64(f[0], 10, core))
+        return "bad core id '" + f[0] + "'";
+    if (core >= kMaxCpuTraceCores)
+        return "core id " + f[0] + " out of range (max " +
+               std::to_string(kMaxCpuTraceCores - 1) + ")";
+    out.core = static_cast<unsigned>(core);
+
+    if (f[1] == "R" || f[1] == "r")
+        out.write = false;
+    else if (f[1] == "W" || f[1] == "w")
+        out.write = true;
+    else
+        return "bad access type '" + f[1] + "' (expected R or W)";
+
+    if (!parseU64(f[2], 16, out.addr))
+        return "bad hex address '" + f[2] + "'";
+
+    out.hasIcount = nf == 4;
+    if (out.hasIcount && !parseU64(f[3], 10, out.icount))
+        return "bad icount '" + f[3] + "'";
+    return "";
+}
+
+/**
+ * One pass over @p in: parse every reference line, enforce per-core
+ * icount monotonicity, and hand each record to @p fn(rec). Returns ""
+ * or a path-and-line-named error.
+ */
+template <typename Fn>
+std::string
+forEachCpuTraceRecord(TraceInput &in, const std::string &inPath,
+                      Fn &&fn)
+{
+    LineReader lines(in);
+    std::array<std::uint64_t, kMaxCpuTraceCores> lastIcount{};
+    std::string line, err;
+    std::uint64_t lineno = 0;
+    while (lines.next(line, err)) {
+        ++lineno;
+        const std::size_t hash = line.find('#');
+        if (hash != std::string::npos)
+            line.resize(hash);
+        CpuTraceLine p;
+        bool blank = true;
+        for (const char c : line)
+            if (!std::isspace(static_cast<unsigned char>(c)))
+                blank = false;
+        if (blank)
+            continue;
+        const std::string bad = parseCpuTraceLine(line, p);
+        if (!bad.empty())
+            return inPath + ":" + std::to_string(lineno) + ": " + bad;
+
+        TraceRecord rec;
+        rec.core = p.core;
+        rec.addr = p.addr;
+        rec.write = p.write;
+        if (p.hasIcount) {
+            if (p.icount < lastIcount[p.core])
+                return inPath + ":" + std::to_string(lineno) +
+                       ": non-monotone icount for core " +
+                       std::to_string(p.core) + " (" +
+                       std::to_string(p.icount) + " after " +
+                       std::to_string(lastIcount[p.core]) + ")";
+            rec.icountDelta = p.icount - lastIcount[p.core];
+            lastIcount[p.core] = p.icount;
+        } else {
+            rec.icountDelta = 1;
+        }
+        fn(rec);
+    }
+    if (!err.empty())
+        return err;
+    return "";
+}
+
+} // namespace
+
+std::string
+importCpuTrace(const std::string &inPath, const std::string &outPath,
+               CpuTraceImportStats *statsOut)
+{
+    TraceInput in;
+    std::string err = in.open(inPath);
+    if (!err.empty())
+        return err;
+
+    // Pass 1: validate every line and size the core table — the
+    // SLIPTRC2 header carries the core count up front.
+    CpuTraceImportStats stats;
+    unsigned maxCore = 0;
+    err = forEachCpuTraceRecord(in, inPath, [&](const TraceRecord &r) {
+        ++stats.records;
+        ++(r.write ? stats.writes : stats.reads);
+        if (r.core > maxCore)
+            maxCore = r.core;
+    });
+    if (!err.empty())
+        return err;
+    if (stats.records == 0)
+        return inPath + ": empty cpu_trace (no reference lines)";
+    stats.cores = maxCore + 1;
+
+    err = in.rewind();
+    if (!err.empty())
+        return err;
+    auto writer = TraceWriter::create(outPath, TraceFormat::Sliptrc2,
+                                      stats.cores, &err);
+    if (!writer)
+        return err;
+    err = forEachCpuTraceRecord(
+        in, inPath, [&](const TraceRecord &r) { writer->append(r); });
+    if (!err.empty())
+        return err;
 
     err = writer->close();
     if (!err.empty())

@@ -16,6 +16,22 @@
  * the instructions retired since the previous emitted record, later
  * records of the same instruction carry 0. ChampSim traces are
  * single-core, so every record lands on core 0.
+ *
+ * Sniper-style cpu_trace: the text dump format of per-core memory
+ * tracers (Sniper's --cpu_trace family). One reference per line,
+ * whitespace-separated:
+ *
+ *   <core> <R|W> <hex-addr> [<icount>]
+ *
+ * `#` starts a comment (full-line or trailing); blank lines are
+ * skipped. `addr` is a byte address in hex, with or without the 0x
+ * prefix. The optional `icount` column is the *cumulative*
+ * instructions retired on that core at the reference; the importer
+ * emits per-record deltas against the core's previous line and
+ * rejects non-monotone counts. Lines without the column count one
+ * instruction per reference. Unlike ChampSim, cpu_trace dumps are
+ * multicore: the core column sizes the SLIPTRC2 core table
+ * (max-core + 1, capped at 64 cores).
  */
 
 #ifndef SLIP_MEM_TRACE_IMPORT_HH
@@ -42,6 +58,25 @@ struct ChampSimImportStats
 std::string importChampSimTrace(const std::string &inPath,
                                 const std::string &outPath,
                                 ChampSimImportStats *stats = nullptr);
+
+struct CpuTraceImportStats
+{
+    std::uint64_t records = 0;
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+    /** Core table size of the emitted trace (max core id + 1). */
+    unsigned cores = 0;
+};
+
+/**
+ * Convert the Sniper-style cpu_trace text dump @p inPath (plain or
+ * .gz) to a SLIPTRC2 trace at @p outPath. Returns "" on success or a
+ * path-and-line-named error (malformed field, core id out of range,
+ * non-monotone per-core icount, empty input).
+ */
+std::string importCpuTrace(const std::string &inPath,
+                           const std::string &outPath,
+                           CpuTraceImportStats *stats = nullptr);
 
 } // namespace slip
 

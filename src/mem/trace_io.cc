@@ -1011,6 +1011,14 @@ scanTrace(const std::string &path, TraceScan &out)
     TraceRecord rec;
     while (r.next(rec, err)) {
         ++out.records;
+        // A corrupt multicore trace can carry a core id beyond the
+        // header's core table; reject it instead of indexing past
+        // the per-core counters.
+        if (rec.core >= out.perCore.size())
+            return path + ": record " + std::to_string(out.records) +
+                   ": core id " + std::to_string(rec.core) +
+                   " out of range (header declares " +
+                   std::to_string(out.info.coreCount) + " core(s))";
         ++out.perCore[rec.core];
         if (rec.write)
             ++out.writes;

@@ -34,6 +34,7 @@ enum class EnergyCause : std::uint8_t {
     EouOp,        ///< energy-optimizer invocation
     DramDemand,   ///< DRAM demand access
     DramMetadata, ///< DRAM metadata (PTE distance bits) traffic
+    Coherence,    ///< directory probes + write-invalidate traffic
     NumCauses,
 };
 
@@ -57,6 +58,7 @@ causeName(EnergyCause c)
       case EnergyCause::EouOp: return "eou_op";
       case EnergyCause::DramDemand: return "dram_demand";
       case EnergyCause::DramMetadata: return "dram_metadata";
+      case EnergyCause::Coherence: return "coherence";
       case EnergyCause::NumCauses: break;
     }
     return "?";

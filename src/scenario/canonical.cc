@@ -111,6 +111,22 @@ addFigureScenarios(std::vector<Scenario> &out)
         out.push_back(s);
     }
     {
+        // Shared-LLC variant of Figure 16: the same two-program mix,
+        // but the cores genuinely share one coherent LLC instead of
+        // running multiprogrammed over a partition-by-key'd level
+        // (EXPERIMENTS.md walks a slip-report diff of the two).
+        Scenario s = base("fig16_shared",
+                          "Figure 16 variant: two-core mix over a "
+                          "shared coherent two-slice LLC");
+        s.policy = "slip+abp";
+        s.cores = 2;
+        s.workloads = {"soplex", "mcf"};
+        s.hierarchy.levels.back().inclusive = Tri::On;
+        s.hierarchy.levels.back().coherent = true;
+        s.hierarchy.levels.back().slices = 2;
+        out.push_back(s);
+    }
+    {
         Scenario s = base("tbl_bitwidth_sensitivity",
                           "Table: distribution counter width "
                           "sensitivity (2-bit counters)");
@@ -320,6 +336,76 @@ addShapeScenarios(std::vector<Scenario> &out)
     }
 }
 
+/** A true-multicore shape: per-core private L1+L2 chains feeding a
+ * shared, set/slice-interleaved, coherent (inclusive) NUCA LLC. */
+Scenario
+sharedLlcScenario(const std::string &name, unsigned cores,
+                  unsigned slices, std::uint64_t refs)
+{
+    Scenario s =
+        base(name,
+             std::to_string(cores) +
+                 "-core hierarchy: private L1+L2 chains under a "
+                 "shared coherent LLC interleaved over " +
+                 std::to_string(slices) + " slices");
+    s.policy = "baseline";
+    s.cores = cores;
+    s.refs = refs;
+    s.warmup = refs;
+    s.runThreads = 4;
+    s.hierarchy.levels.clear();
+    LevelSpec l1;
+    l1.name = "l1";
+    l1.sizeBytes = 32 * 1024;
+    l1.ways = 8;
+    l1.isPrivate = true;
+    l1.inclusive = Tri::Off;
+    l1.policy = "baseline";
+    l1.topology = "set";
+    l1.repl = "lru";
+    l1.randomVictim = Tri::Off;
+    l1.energy = "l1";
+    l1.latency = 4;
+    l1.sublevelWays = {2, 2, 4};
+    l1.waysPerRow = 2;
+    s.hierarchy.levels.push_back(l1);
+    LevelSpec l2;
+    l2.name = "l2";
+    l2.sizeBytes = 256 * 1024;
+    l2.ways = 8;
+    l2.isPrivate = true;
+    l2.inclusive = Tri::Off;
+    l2.policy = "baseline";
+    l2.energy = "l2";
+    l2.sublevelWays = {2, 2, 4};
+    l2.waysPerRow = 2;
+    s.hierarchy.levels.push_back(l2);
+    LevelSpec llc;
+    llc.name = "llc";
+    llc.sizeBytes = 4 * 1024 * 1024;
+    llc.ways = 16;
+    llc.isPrivate = false;
+    llc.inclusive = Tri::On;  // the coherence point must be inclusive
+    llc.coherent = true;
+    llc.slices = slices;
+    llc.energy = "l3";
+    s.hierarchy.levels.push_back(llc);
+    return s;
+}
+
+/** True-multicore scenarios: shared sliced coherent LLC at rising
+ * core counts. The 4-core shape doubles as the golden fixture and
+ * the CI byte-identity matrix entry; the larger ones bound runtime
+ * with shorter windows. */
+void
+addSharedScenarios(std::vector<Scenario> &out)
+{
+    out.push_back(sharedLlcScenario("hier3_shared4", 4, 4, 100'000));
+    out.push_back(sharedLlcScenario("hier3_shared16", 16, 8, 50'000));
+    out.push_back(sharedLlcScenario("hier3_shared32", 32, 16, 25'000));
+    out.push_back(sharedLlcScenario("hier3_shared64", 64, 16, 12'000));
+}
+
 } // namespace
 
 std::vector<Scenario>
@@ -329,6 +415,7 @@ canonicalScenarios()
     addFigureScenarios(out);
     addGoldenScenarios(out);
     addShapeScenarios(out);
+    addSharedScenarios(out);
     return out;
 }
 

@@ -116,7 +116,8 @@ parseLevel(const json::Value &v, const std::string &path, LevelSpec &l)
         v, path,
         {"name", "size_kb", "ways", "private", "inclusive", "policy",
          "topology", "repl", "random_victim", "energy", "latency",
-         "sublevel_ways", "ways_per_row", "seed_mul", "seed_add"});
+         "sublevel_ways", "ways_per_row", "seed_mul", "seed_add",
+         "slices", "coherence"});
     if (!err.empty())
         return err;
 
@@ -154,6 +155,12 @@ parseLevel(const json::Value &v, const std::string &path, LevelSpec &l)
     if (!(err = getUnsigned(v, path, "latency", latency)).empty())
         return err;
     l.latency = latency;
+    if (!(err = getUnsigned(v, path, "slices", l.slices)).empty())
+        return err;
+    bool coherent = l.coherent;
+    if (!(err = getBool(v, path, "coherence", coherent)).empty())
+        return err;
+    l.coherent = coherent;
 
     if (const json::Value *sw = v.find("sublevel_ways")) {
         if (!sw->isArray() || sw->size() != kNumSublevels)
@@ -518,6 +525,10 @@ scenarioJson(const Scenario &s)
             for (unsigned wy : l.sublevelWays)
                 sw.push(wy);
             v["ways_per_row"] = l.waysPerRow;
+            if (l.slices != 1)
+                v["slices"] = l.slices;
+            if (l.coherent)
+                v["coherence"] = true;
             if (l.seedMul) {
                 v["seed_mul"] = l.seedMul;
                 v["seed_add"] = l.seedAdd;

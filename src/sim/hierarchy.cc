@@ -139,7 +139,8 @@ HierarchySpec::key() const
            << triChar(l.randomVictim) << "," << energy << ","
            << l.latency << "," << l.sublevelWays[0] << "-"
            << l.sublevelWays[1] << "-" << l.sublevelWays[2] << ","
-           << l.waysPerRow << "," << mul << "+" << add;
+           << l.waysPerRow << "," << mul << "+" << add << ",x"
+           << l.slices << "," << (l.coherent ? "c1" : "c0");
     }
     return os.str();
 }
@@ -184,7 +185,34 @@ HierarchySpec::validate() const
             return where + ": sublevel ways must sum to ways";
         if (l.waysPerRow == 0 || l.waysPerRow > l.ways)
             return where + ": ways_per_row must be in [1, ways]";
+        if (l.slices == 0 || !isPowerOf2(l.slices) || l.slices > 64)
+            return where +
+                   ": slices must be a power of two in [1, 64]";
+        if (l.slices > 1 && l.isPrivate)
+            return where + ": slices > 1 requires a shared level";
+        if (l.sizeBytes / l.slices <
+            std::uint64_t(l.ways) * kLineSize)
+            return where + ": slice size smaller than one set";
+        if (l.coherent && l.isPrivate)
+            return where + ": coherence requires a shared level";
+        if (l.coherent && l.inclusive == Tri::Off)
+            return where + ": a coherent level must be inclusive";
     }
+    std::size_t ncoherent = 0;
+    for (std::size_t i = 0; i < levels.size(); ++i) {
+        if (!levels[i].coherent)
+            continue;
+        ++ncoherent;
+        for (std::size_t j = 0; j < i; ++j)
+            if (!levels[j].isPrivate)
+                return "level " + std::to_string(i) + " ('" +
+                       levels[i].name +
+                       "'): a coherent level must be the first "
+                       "shared level (its directory tracks the "
+                       "private levels above it)";
+    }
+    if (ncoherent > 1)
+        return "at most one level may be coherent";
     if (!levels[0].isPrivate)
         return "level 0 ('" + levels[0].name +
                "'): innermost level must be private";
@@ -203,6 +231,7 @@ operator==(const LevelSpec &a, const LevelSpec &b)
 {
     return a.name == b.name && a.sizeBytes == b.sizeBytes &&
            a.ways == b.ways && a.isPrivate == b.isPrivate &&
+           a.slices == b.slices && a.coherent == b.coherent &&
            a.inclusive == b.inclusive && a.policy == b.policy &&
            a.topology == b.topology && a.repl == b.repl &&
            a.randomVictim == b.randomVictim && a.energy == b.energy &&
@@ -239,9 +268,18 @@ resolveHierarchy(const HierarchySpec &spec, const HierarchyDefaults &defs,
         r.sizeBytes = l.sizeBytes;
         r.ways = l.ways;
         r.shared = !l.isPrivate;
+        r.slices = l.slices;
+        r.coherent = l.coherent;
         const bool incl_default =
             (i + 1 == h.levels.size()) && defs.inclusiveLast;
         r.inclusive = resolveTri(l.inclusive, incl_default);
+        if (r.coherent && !r.inclusive) {
+            if (err)
+                *err = "level " + std::to_string(i) +
+                       ": coherence requires the level to resolve "
+                       "inclusive (set the level's inclusive flag)";
+            return {};
+        }
 
         if (l.policy.empty())
             r.policy = i == 0 ? "baseline" : defs.policy;

@@ -54,6 +54,23 @@ struct LevelSpec
     /** One unit per core (true) or a single shared unit (false). */
     bool isPrivate = true;
 
+    /**
+     * Address-interleaved banking of a shared level: the line address
+     * selects one of @c slices independent units (low line-address
+     * bits), each sized sizeBytes/slices. 1 keeps the monolithic
+     * shared array; private levels must stay at 1.
+     */
+    unsigned slices = 1;
+
+    /**
+     * Coherence-lite (shared levels only): keep a per-line sharer
+     * bitmask directory alongside the level and write-invalidate
+     * other cores' private copies on demand writes. Requires the
+     * level to resolve inclusive so the directory stays a superset
+     * of the private levels above it.
+     */
+    bool coherent = false;
+
     /** Back-invalidate upper levels on eviction; Inherit maps the
      * last level to SystemConfig::inclusiveL3 and others to Off. */
     Tri inclusive = Tri::Inherit;
@@ -139,6 +156,8 @@ struct ResolvedLevel
     std::uint64_t sizeBytes = 0;
     unsigned ways = 0;
     bool shared = false;
+    unsigned slices = 1;
+    bool coherent = false;
     bool inclusive = false;
     std::string policy;        ///< controller registry key
     TopologyKind topology = TopologyKind::HierBusWayInterleaved;

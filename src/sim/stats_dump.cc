@@ -83,10 +83,27 @@ dumpStats(System &sys, std::ostream &os)
                 dumpLevelStats(core + "." + sys.levelName(i),
                                sys.level(i, c).stats(), os);
     }
-    for (unsigned i = 0; i < sys.numLevels(); ++i)
-        if (sys.levelShared(i))
-            dumpLevelStats(sys.levelName(i), sys.level(i, 0).stats(),
-                           os);
+    for (unsigned i = 0; i < sys.numLevels(); ++i) {
+        if (!sys.levelShared(i))
+            continue;
+        dumpLevelStats(sys.levelName(i), sys.combinedLevelStats(i),
+                       os);
+        // NUCA slice breakdown (hot-spotting): each slice dumps under
+        // its unit name ("llc.s0", ...). Single-unit shared levels
+        // print nothing extra, keeping classic dumps byte-identical.
+        for (unsigned u = 0;
+             sys.levelSlices(i) > 1 && u < sys.levelUnits(i); ++u)
+            dumpLevelStats(sys.levelUnit(i, u).name(),
+                           sys.levelUnit(i, u).stats(), os);
+    }
+    if (sys.coherenceEnabled()) {
+        os << "coherence.write_probes " << sys.coherenceWriteProbes()
+           << "\n";
+        os << "coherence.invalidations "
+           << sys.coherenceInvalidations() << "\n";
+        os << "coherence.dirty_writebacks "
+           << sys.coherenceDirtyWritebacks() << "\n";
+    }
 
     os << "dram.reads " << sys.dram().reads() << "\n";
     os << "dram.writes " << sys.dram().writes() << "\n";
@@ -190,10 +207,26 @@ statsToJson(System &sys)
                     levelStatsJson(sys.level(i, c).stats());
         cores.push(std::move(core));
     }
-    for (unsigned i = 0; i < sys.numLevels(); ++i)
-        if (sys.levelShared(i))
-            root[sys.levelName(i)] =
-                levelStatsJson(sys.level(i, 0).stats());
+    for (unsigned i = 0; i < sys.numLevels(); ++i) {
+        if (!sys.levelShared(i))
+            continue;
+        json::Value lv = levelStatsJson(sys.combinedLevelStats(i));
+        if (sys.levelSlices(i) > 1) {
+            json::Value &slices = lv["slices"];
+            slices = json::Value::array();
+            for (unsigned u = 0; u < sys.levelUnits(i); ++u)
+                slices.push(
+                    levelStatsJson(sys.levelUnit(i, u).stats()));
+        }
+        root[sys.levelName(i)] = std::move(lv);
+    }
+    if (sys.coherenceEnabled()) {
+        json::Value &coh = root["coherence"];
+        coh = json::Value::object();
+        coh["write_probes"] = sys.coherenceWriteProbes();
+        coh["invalidations"] = sys.coherenceInvalidations();
+        coh["dirty_writebacks"] = sys.coherenceDirtyWritebacks();
+    }
 
     json::Value &dram = root["dram"];
     dram = json::Value::object();

@@ -91,26 +91,44 @@ System::System(const SystemConfig &cfg)
         args.randomSublevelVictim = spec.randomVictim;
         args.systemSeed = cfg.seed;
 
-        const unsigned nunits = spec.shared ? 1 : cfg.numCores;
+        // Shared levels have one unit per address-interleaved slice
+        // (one total when unsliced), private levels one per core. A
+        // slice holds sizeBytes/slices and skips the slice-select
+        // bits when indexing sets, so the S slices together behave
+        // like the monolithic array partitioned by line % S.
+        const unsigned nunits =
+            spec.shared ? spec.slices : cfg.numCores;
         for (unsigned u = 0; u < nunits; ++u) {
             CacheLevelConfig c;
-            c.name = spec.shared ? spec.name
-                                 : spec.name + "." + std::to_string(u);
-            c.sizeBytes = spec.sizeBytes;
+            c.name = spec.shared
+                         ? (spec.slices > 1
+                                ? spec.name + ".s" + std::to_string(u)
+                                : spec.name)
+                         : spec.name + "." + std::to_string(u);
+            c.sizeBytes = spec.sizeBytes / (spec.shared ? spec.slices
+                                                        : 1);
             c.ways = spec.ways;
             c.topology = spec.topology;
             c.energy = spec.energy;
             c.sublevelWays = spec.sublevelWays;
             c.waysPerRow = spec.waysPerRow;
+            c.setShift = spec.shared ? exactLog2(spec.slices) : 0;
             c.repl = spec.repl;
             c.movementQueueEnabled = pol->movementQueue;
             c.slipMetadataEnabled = pol->slip;
             c.movementQueuePj = cfg.tech.movementQueuePj;
-            c.seed = cfg.seed * spec.seedMul + spec.seedAdd +
-                     (spec.shared ? 0 : u);
+            c.seed = cfg.seed * spec.seedMul + spec.seedAdd + u;
             lvl.units.push_back(std::make_unique<CacheLevel>(c));
             lvl.ctrls.push_back(
                 pol->make(*lvl.units.back(), ctrl_slot, args));
+        }
+        if (spec.coherent) {
+            slip_assert(_coherentLevel < 0,
+                        "at most one coherent level");
+            slip_assert(cfg.numCores <= 64,
+                        "coherence-lite sharer masks track at most 64 "
+                        "cores, got %u", cfg.numCores);
+            _coherentLevel = static_cast<int>(i);
         }
         _levels.push_back(std::move(lvl));
     }
@@ -159,6 +177,12 @@ System::System(const SystemConfig &cfg)
             break;
         }
     }
+    // resolveHierarchy guarantees the coherent level is the first
+    // shared one with a clean private-prefix/shared-suffix split —
+    // coherenceDemand's sweep over levels [0, _coherentLevel) relies
+    // on every one of them being private.
+    SLIP_CHECK(_coherentLevel < 0 ||
+               static_cast<unsigned>(_coherentLevel) == _firstShared);
 
     // SoA batch tag probes only pay off when the level-0 controller
     // consumes pre-computed probes (see _batchProbe in the header).
@@ -277,7 +301,7 @@ System::tlbMissShared(unsigned core_id, Addr page)
                               pte.updates);
             }
             for (unsigned li : _slipLevels)
-                _levels[li].unit(core_id).chargeEnergy(
+                _levels[li].unit(core_id, mline).chargeEnergy(
                     EnergyCat::Other, obs::EnergyCause::EouOp,
                     _cfg.tech.eouOpPj);
             lat += 1;  // TLB blocked for the policy update
@@ -310,7 +334,7 @@ System::tlbMissShared(unsigned core_id, Addr page)
                 }
                 ++pte.updates;
                 for (unsigned li : _slipLevels)
-                    _levels[li].unit(core_id).chargeEnergy(
+                    _levels[li].unit(core_id, mline).chargeEnergy(
                         EnergyCat::Other, obs::EnergyCause::EouOp,
                         _cfg.tech.eouOpPj);
                 lat += 1;  // TLB blocked for the policy update
@@ -360,13 +384,15 @@ System::metadataAccess(unsigned core_id, Addr line, bool is_write,
         for (unsigned i = 1; i < nlevels; ++i) {
             Level &lvl = _levels[i];
             AccessResult r =
-                lvl.ctrl(core_id).access(line, false, ctx, cls);
+                lvl.ctrl(core_id, line).access(line, false, ctx, cls);
             if (r.hit) {
                 lat += r.latency;
                 hit_at = i;
                 break;
             }
-            lat += lvl.unit(core_id).topology().baselineLatency();
+            lat += lvl.unit(core_id, line)
+                       .topology()
+                       .baselineLatency();
         }
         if (hit_at == nlevels) {
             // Distribution-metadata line fetches count as metadata
@@ -382,7 +408,7 @@ System::metadataAccess(unsigned core_id, Addr line, bool is_write,
                               : static_cast<int>(hit_at) - 1;
         for (int i = deepest_missed; i >= 1; --i) {
             Level &lvl = _levels[i];
-            lvl.ctrl(core_id).fill(line, false, ctx, lvl.evs);
+            lvl.ctrl(core_id, line).fill(line, false, ctx, lvl.evs);
             drainEvictions(static_cast<unsigned>(i), core_id);
         }
         return lat;
@@ -391,7 +417,7 @@ System::metadataAccess(unsigned core_id, Addr line, bool is_write,
     // Non-allocating write-through: update in place where cached,
     // otherwise send the small record straight to DRAM.
     for (unsigned i = 1; i < nlevels; ++i) {
-        CacheLevel &unit = _levels[i].unit(core_id);
+        CacheLevel &unit = _levels[i].unit(core_id, line);
         const LookupResult lr = unit.lookup(line, cls);
         if (lr.hit)
             return unit.recordWriteback(lr.setIndex, lr.way);
@@ -412,8 +438,8 @@ System::demandFetch(unsigned core_id, Addr line, const PageCtx &ctx)
     for (unsigned i = 1; i < nlevels; ++i) {
         Level &lvl = _levels[i];
         AccessResult r =
-            lvl.ctrl(core_id).access(line, false, ctx,
-                                     AccessClass::Demand);
+            lvl.ctrl(core_id, line).access(line, false, ctx,
+                                           AccessClass::Demand);
         if (r.hit) {
             recordRd(ctx, lvl.slot, r.rdBin);
             lat += r.latency;
@@ -421,7 +447,7 @@ System::demandFetch(unsigned core_id, Addr line, const PageCtx &ctx)
             break;
         }
         recordRd(ctx, lvl.slot, static_cast<int>(kNumSublevels));
-        lat += lvl.unit(core_id).topology().baselineLatency();
+        lat += lvl.unit(core_id, line).topology().baselineLatency();
     }
     if (hit_at == nlevels)
         lat += _dram.access(false);
@@ -431,7 +457,7 @@ System::demandFetch(unsigned core_id, Addr line, const PageCtx &ctx)
                                    : static_cast<int>(hit_at) - 1;
     for (int i = deepest_missed; i >= 1; --i) {
         Level &lvl = _levels[i];
-        lvl.ctrl(core_id).fill(line, false, ctx, lvl.evs);
+        lvl.ctrl(core_id, line).fill(line, false, ctx, lvl.evs);
         drainEvictions(static_cast<unsigned>(i), core_id);
     }
     return lat;
@@ -444,13 +470,13 @@ System::writebackToLevel(unsigned i, unsigned core_id, Addr line)
     ctx.collectRd = false;  // writebacks are not demand reuse
 
     Level &lvl = _levels[i];
-    CacheLevel &unit = lvl.unit(core_id);
+    CacheLevel &unit = lvl.unit(core_id, line);
     const LookupResult lr = unit.lookup(line, AccessClass::Demand);
     if (lr.hit) {
         unit.recordWriteback(lr.setIndex, lr.way);
         return;
     }
-    lvl.ctrl(core_id).fill(line, true, ctx, lvl.evs);
+    lvl.ctrl(core_id, line).fill(line, true, ctx, lvl.evs);
     drainEvictions(i, core_id);
 }
 
@@ -461,6 +487,13 @@ System::drainEvictions(unsigned i, unsigned core_id)
     const bool last = i + 1 == _levels.size();
     for (const Eviction &ev : lvl.evs) {
         bool dirty = ev.dirty;
+        if (static_cast<int>(i) == _coherentLevel) {
+            // The line left the coherence point: its sharers are
+            // cleaned out by the inclusive back-invalidation below,
+            // so the directory entry is retired (mask 0 = absent).
+            if (std::uint64_t *mask = _directory.find(ev.lineAddr))
+                *mask = 0;
+        }
         if (lvl.spec.inclusive) {
             // Back-invalidate upper-level copies; a dirty copy there
             // must reach the next level since this entry is gone.
@@ -470,10 +503,13 @@ System::drainEvictions(unsigned i, unsigned core_id)
                 Level &upper = _levels[j];
                 if (upper.spec.shared) {
                     bool d = false;
-                    upper.units[0]->invalidate(ev.lineAddr, &d);
+                    upper.unit(core_id, ev.lineAddr)
+                        .invalidate(ev.lineAddr, &d);
                     dirty = dirty || d;
                     if (j == 0)
-                        touchL1Set(0, ev.lineAddr);
+                        touchL1Set(upper.unitIndex(core_id,
+                                                   ev.lineAddr),
+                                   ev.lineAddr);
                 } else if (lvl.spec.shared) {
                     // Shared level evicting: any core may hold it.
                     for (unsigned u = 0;
@@ -499,7 +535,8 @@ System::drainEvictions(unsigned i, unsigned core_id)
                 for (unsigned j = 0; j < i; ++j) {
                     const Level &upper = _levels[j];
                     if (upper.spec.shared) {
-                        SLIP_CHECK(!upper.units[0]->peek(ev.lineAddr)
+                        SLIP_CHECK(!upper.unit(core_id, ev.lineAddr)
+                                        .peek(ev.lineAddr)
                                         .hit);
                     } else if (lvl.spec.shared) {
                         for (const auto &unit : upper.units)
@@ -608,12 +645,103 @@ System::accessImpl(unsigned core_id, const MemAccess &acc,
         drainEvictions(0, core_id);
     }
 
+    // Coherence-lite bookkeeping runs inside accessImpl so the merge
+    // stage of a pipelined run replays it in serial reference order
+    // for free (byte-identity with --run-threads 1).
+    if (_coherentLevel >= 0)
+        coherenceDemand(core_id, line, is_write);
+
     ++core.stats.accesses;
     core.stats.memStallCycles += static_cast<double>(lat - _l1Latency);
 
     if (_cfg.epochIntervalRefs != 0 &&
         ++_epochAccesses >= _cfg.epochIntervalRefs)
         rollEpoch();
+}
+
+void
+System::coherenceDemand(unsigned core_id, Addr line, bool is_write)
+{
+    // Coherence-lite (DESIGN.md §5c): the coherent shared level is
+    // the coherence point and its inclusive directory is a per-line
+    // sharer bitmask in an append-only map (mask 0 = absent). Masks
+    // are conservative — a bit can outlive the private copy it
+    // describes (silent L1/L2 evictions are not reported), so a stale
+    // sharer costs one wasted modelled probe, never correctness.
+    // Directory traffic is background mesh traffic: it charges energy
+    // to the Coherence cause bin but adds no demand latency.
+    Level &lvl = _levels[static_cast<unsigned>(_coherentLevel)];
+    CacheLevel &slice = lvl.unit(core_id, line);
+    const std::uint64_t self = std::uint64_t{1} << core_id;
+
+    if (!is_write) {
+        // Read sharing: join the sharer set. The bit rides on the
+        // demand lookup that already probed this slice's tags, so no
+        // extra energy is charged.
+        _directory.getOrCreate(line, [] { return std::uint64_t{0}; }) |=
+            self;
+        return;
+    }
+
+    // Write: one directory probe at the home slice, then invalidate
+    // every other sharer's private copies in ascending core order.
+    static obs::Counter &probes_ctr =
+        obs::counter("coherence.write_probes");
+    static obs::Counter &inval_ctr =
+        obs::counter("coherence.invalidations");
+    probes_ctr.add();
+    ++_cohWriteProbes;
+    slice.chargeEnergy(EnergyCat::Metadata, obs::EnergyCause::Coherence,
+                       slice.topology().metadataEnergy());
+
+    std::uint64_t &mask =
+        _directory.getOrCreate(line, [] { return std::uint64_t{0}; });
+    const std::uint64_t others = mask & ~self;
+    bool any_dirty = false;
+    for (unsigned c = 0; c < _cores.size() && (others >> c) != 0; ++c) {
+        if (!(others & (std::uint64_t{1} << c)))
+            continue;
+        bool dirty = false;
+        for (unsigned j = 0;
+             j < static_cast<unsigned>(_coherentLevel); ++j) {
+            // Every level above the coherence point is private
+            // (validated in resolveHierarchy), so the sharer's copy
+            // can only live in its own per-core units. Level-0
+            // invalidations stamp the set so a pipelined front-end's
+            // pre-computed batch probe of it is discarded.
+            CacheLevel &priv = *_levels[j].units[c];
+            priv.chargeEnergy(EnergyCat::Metadata,
+                              obs::EnergyCause::Coherence,
+                              priv.topology().metadataEnergy());
+            bool d = false;
+            priv.invalidate(line, &d);
+            dirty = dirty || d;
+            if (j == 0)
+                touchL1Set(c, line);
+        }
+        inval_ctr.add();
+        ++_cohInvalidations;
+        any_dirty = any_dirty || dirty;
+    }
+    if (any_dirty) {
+        // A peer's dirty copy folds into the coherence point before
+        // the writer proceeds. Inclusion guarantees the line is
+        // present here; the DRAM fallback only covers a copy whose
+        // home entry is mid-replacement.
+        static obs::Counter &wb_ctr =
+            obs::counter("coherence.dirty_writebacks");
+        const LookupResult lr = slice.peek(line);
+        SLIP_CHECK_MSG(lr.hit,
+                       "coherent level lost included line %llx",
+                       static_cast<unsigned long long>(line));
+        if (lr.hit) {
+            slice.recordWriteback(lr.setIndex, lr.way);
+            wb_ctr.add();
+            ++_cohDirtyWritebacks;
+        } else
+            _dram.access(true);
+    }
+    mask = self;  // write-invalidate leaves the writer sole sharer
 }
 
 obs::EnergyLedger
@@ -716,6 +844,21 @@ System::run(const std::vector<AccessSource *> &sources,
     // the measured window.
     if (_cfg.epochIntervalRefs != 0 && _epochAccesses > 0)
         rollEpoch();
+
+    // Slice hot-spotting: publish each NUCA slice's access count so a
+    // --metrics-json snapshot shows the interleave balance
+    // ("llc.s0.accesses", "llc.s1.accesses", ...).
+    if (obs::metricsEnabled()) {
+        for (const Level &lvl : _levels) {
+            if (!lvl.spec.shared || lvl.spec.slices <= 1)
+                continue;
+            for (const auto &unit : lvl.units)
+                obs::gauge(unit->name() + ".accesses")
+                    .set(static_cast<std::int64_t>(
+                        unit->stats().demandAccesses +
+                        unit->stats().metadataAccesses));
+        }
+    }
 
     // Energy attribution contract: with metrics on, every pJ entering
     // a golden energyPj accumulator was paired with a ledger cause-bin
@@ -830,6 +973,12 @@ System::fullFrontEligible() const
     for (unsigned i = _firstShared; i < nlevels; ++i)
         if (_levels[i].spec.inclusive)
             return false;
+    // Coherence is subsumed by the inclusive check above (a coherent
+    // level must resolve inclusive), but keep the direct test so the
+    // TLB-front guarantee survives if that coupling ever loosens:
+    // coherenceDemand lives in accessImpl, which full-front skips.
+    if (_coherentLevel >= 0)
+        return false;
     if (2 * _firstShared + 2 > pipe::kMaxFrontWb)
         return false;
     return true;
@@ -881,8 +1030,9 @@ System::frontWalk(unsigned core_id, Addr line, const PageCtx &ctx,
     unsigned hit_at = first_shared;
     for (unsigned i = 1; i < first_shared; ++i) {
         Level &lvl = _levels[i];
-        AccessResult r = lvl.ctrl(core_id).access(line, false, ctx,
-                                                  AccessClass::Demand);
+        AccessResult r = lvl.ctrl(core_id, line)
+                             .access(line, false, ctx,
+                                     AccessClass::Demand);
         if (r.hit) {
             if (demand)
                 recordRd(ctx, lvl.slot, r.rdBin);
@@ -892,12 +1042,12 @@ System::frontWalk(unsigned core_id, Addr line, const PageCtx &ctx,
         }
         if (demand)
             recordRd(ctx, lvl.slot, static_cast<int>(kNumSublevels));
-        lat += lvl.unit(core_id).topology().baselineLatency();
+        lat += lvl.unit(core_id, line).topology().baselineLatency();
     }
     shared_miss = hit_at == first_shared;
     for (int i = static_cast<int>(hit_at) - 1; i >= 1; --i) {
         Level &lvl = _levels[i];
-        lvl.ctrl(core_id).fill(line, false, ctx, fs.evs[i]);
+        lvl.ctrl(core_id, line).fill(line, false, ctx, fs.evs[i]);
         frontDrain(static_cast<unsigned>(i), core_id, fs, fr);
     }
     return lat;
@@ -919,13 +1069,13 @@ System::frontWritebackToLevel(unsigned i, unsigned core_id, Addr line,
     ctx.collectRd = false;  // writebacks are not demand reuse
 
     Level &lvl = _levels[i];
-    CacheLevel &unit = lvl.unit(core_id);
+    CacheLevel &unit = lvl.unit(core_id, line);
     const LookupResult lr = unit.lookup(line, AccessClass::Demand);
     if (lr.hit) {
         unit.recordWriteback(lr.setIndex, lr.way);
         return;
     }
-    lvl.ctrl(core_id).fill(line, true, ctx, fs.evs[i]);
+    lvl.ctrl(core_id, line).fill(line, true, ctx, fs.evs[i]);
     frontDrain(i, core_id, fs, fr);
 }
 
@@ -1056,13 +1206,13 @@ System::sharedWalkFill(unsigned core_id, Addr line, const PageCtx &ctx,
     for (unsigned i = _firstShared; i < nlevels; ++i) {
         Level &lvl = _levels[i];
         AccessResult r =
-            lvl.ctrl(core_id).access(line, false, ctx, cls);
+            lvl.ctrl(core_id, line).access(line, false, ctx, cls);
         if (r.hit) {
             lat += r.latency;
             hit_at = i;
             break;
         }
-        lat += lvl.unit(core_id).topology().baselineLatency();
+        lat += lvl.unit(core_id, line).topology().baselineLatency();
     }
     if (hit_at == nlevels) {
         if (cls == AccessClass::Metadata)
@@ -1077,7 +1227,7 @@ System::sharedWalkFill(unsigned core_id, Addr line, const PageCtx &ctx,
     for (int i = deepest_missed; i >= static_cast<int>(_firstShared);
          --i) {
         Level &lvl = _levels[i];
-        lvl.ctrl(core_id).fill(line, false, ctx, lvl.evs);
+        lvl.ctrl(core_id, line).fill(line, false, ctx, lvl.evs);
         drainEvictions(static_cast<unsigned>(i), core_id);
     }
     return lat;
@@ -1310,9 +1460,20 @@ System::coreCycles(unsigned core_id) const
     const double stalls = _cfg.stallFactor * core.stats.memStallCycles;
     double busy = 0.0;
     for (unsigned i = 1; i < numLevels(); ++i) {
-        const double pb = static_cast<double>(
-            level(i, core_id).stats().portBusyCycles);
-        busy += _levels[i].spec.shared ? pb / _cfg.numCores : pb;
+        const Level &lvl = _levels[i];
+        double pb;
+        if (lvl.spec.shared) {
+            // All slices serve all cores: contention is the whole
+            // level's port occupancy spread across the cores.
+            pb = 0.0;
+            for (const auto &unit : lvl.units)
+                pb += static_cast<double>(
+                    unit->stats().portBusyCycles);
+            pb /= _cfg.numCores;
+        } else
+            pb = static_cast<double>(
+                lvl.units[core_id]->stats().portBusyCycles);
+        busy += pb;
     }
     const double contention = _cfg.portContentionFactor * busy;
     return base + stalls + contention;
@@ -1349,6 +1510,13 @@ System::resetStats()
     _dram.resetStats();
     for (auto &eou : _eous)
         eou->resetStats();
+
+    // Coherence counters restart with the measurement window; the
+    // directory itself is contents, not stats, and survives the reset
+    // just like the tag arrays.
+    _cohWriteProbes = 0;
+    _cohInvalidations = 0;
+    _cohDirtyWritebacks = 0;
 
     // Restart epoch accounting so the series covers exactly the
     // post-warm-up measurement window (warm-up epochs are discarded).

@@ -40,6 +40,7 @@
 #include "slip/eou.hh"
 #include "tlb/page_table.hh"
 #include "tlb/tlb.hh"
+#include "util/flat_map.hh"
 
 namespace slip {
 
@@ -190,9 +191,28 @@ class System
     }
     bool levelShared(unsigned i) const { return _levels[i].spec.shared; }
     bool levelSlip(unsigned i) const { return _levels[i].slot >= 0; }
+    unsigned levelSlices(unsigned i) const
+    {
+        return _levels[i].spec.slices;
+    }
+    bool levelCoherent(unsigned i) const
+    {
+        return _levels[i].spec.coherent;
+    }
 
-    /** The unit serving @p core at level @p i (shared levels have a
-     * single unit, returned for every core). */
+    /** Units backing level @p i (numCores private, slices shared). */
+    unsigned levelUnits(unsigned i) const
+    {
+        return static_cast<unsigned>(_levels[i].units.size());
+    }
+    const CacheLevel &levelUnit(unsigned i, unsigned u) const
+    {
+        return *_levels[i].units[u];
+    }
+
+    /** The unit serving @p core at level @p i (shared levels return
+     * unit 0 — their only unit unless sliced; address-interleaved
+     * slices are selected per line inside the access paths). */
     CacheLevel &level(unsigned i, unsigned core)
     {
         Level &l = _levels[i];
@@ -274,6 +294,29 @@ class System
     /** EOU invocations across all SLIP-managed levels. */
     std::uint64_t eouOperations() const;
 
+    // ------------------------------------------------------------------
+    // Coherence-lite (per-line sharer directory on the one coherent
+    // shared level; see DESIGN.md §5c). All zero when no level is
+    // coherent.
+    // ------------------------------------------------------------------
+
+    bool coherenceEnabled() const { return _coherentLevel >= 0; }
+    /** Demand writes that probed the sharer directory. */
+    std::uint64_t coherenceWriteProbes() const
+    {
+        return _cohWriteProbes;
+    }
+    /** Private-level copies removed by write-invalidations. */
+    std::uint64_t coherenceInvalidations() const
+    {
+        return _cohInvalidations;
+    }
+    /** Dirty invalidated copies folded into the coherent level. */
+    std::uint64_t coherenceDirtyWritebacks() const
+    {
+        return _cohDirtyWritebacks;
+    }
+
     /** The per-slot optimizer units (null for non-SLIP policies). */
     const Eou *eouL2() const
     {
@@ -338,15 +381,30 @@ class System
          * before this level can fill again, so it never nests. */
         std::vector<Eviction> evs;
 
-        CacheLevel &
-        unit(unsigned c)
+        /** Unit serving core @p c for @p line: the core's unit on
+         * private levels, the line's address-interleaved slice on
+         * shared ones (slices == 1 collapses to unit 0). */
+        unsigned
+        unitIndex(unsigned c, Addr line) const
         {
-            return *units[spec.shared ? 0 : c];
+            return spec.shared
+                       ? static_cast<unsigned>(line & (spec.slices - 1))
+                       : c;
+        }
+        CacheLevel &
+        unit(unsigned c, Addr line)
+        {
+            return *units[unitIndex(c, line)];
+        }
+        const CacheLevel &
+        unit(unsigned c, Addr line) const
+        {
+            return *units[unitIndex(c, line)];
         }
         LevelController &
-        ctrl(unsigned c)
+        ctrl(unsigned c, Addr line)
         {
-            return *ctrls[spec.shared ? 0 : c];
+            return *ctrls[unitIndex(c, line)];
         }
     };
 
@@ -436,6 +494,11 @@ class System
     Cycles sharedWalkFill(unsigned core_id, Addr line,
                           const PageCtx &ctx, AccessClass cls);
 
+    /** Directory bookkeeping tail of a demand access: record @p
+     * core_id as a sharer; on writes, first invalidate every other
+     * sharer's private copies (write-invalidate). */
+    void coherenceDemand(unsigned core_id, Addr line, bool is_write);
+
     /** Close the current epoch: record ledger deltas, emit the event. */
     void rollEpoch();
 
@@ -511,6 +574,19 @@ class System
     /** First shared level index (== numLevels() when none is shared
      * or a private level sits below a shared one). */
     unsigned _firstShared = 0;
+
+    // Coherence-lite state. The directory maps demand line addresses
+    // to a sharer-core bitmask (numCores <= 64 enforced when a level
+    // is coherent); mask 0 marks an entry whose line left the
+    // coherent level. The mask is conservative — a core's bit stays
+    // set after its private copies are silently evicted — so
+    // invalidations may probe cores that no longer hold the line,
+    // which only costs modelled energy.
+    int _coherentLevel = -1;  ///< level index, -1 when none
+    PageMap<std::uint64_t> _directory;
+    std::uint64_t _cohWriteProbes = 0;
+    std::uint64_t _cohInvalidations = 0;
+    std::uint64_t _cohDirtyWritebacks = 0;
 
     std::vector<Level> _levels;  ///< [0] = innermost
     std::vector<unsigned> _slipLevels;  ///< level index per RD slot

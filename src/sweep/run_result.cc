@@ -104,7 +104,10 @@ extract(System &sys)
 {
     RunResult r;
     r.l2 = sys.combinedL2Stats();
-    r.l3 = sys.l3().stats();
+    // Slice-combined: for a sliced LLC this folds every NUCA slice
+    // into one stats block (identical to sys.l3().stats() when the
+    // level has a single unit).
+    r.l3 = sys.combinedLevelStats(sys.numLevels() - 1);
     r.l2EnergyPj = sys.l2EnergyPj();
     r.l3EnergyPj = sys.l3EnergyPj();
     r.l1EnergyPj = sys.l1EnergyPj();
@@ -251,6 +254,20 @@ executeRun(const RunSpec &spec)
         auto s0 = makeMixSource(spec.benchmark, 0);
         auto s1 = makeMixSource(spec.benchmarkB, 1);
         sys.run({s0.get(), s1.get()}, spec.opts.refs, spec.opts.warmup);
+        return extract(sys);
+    }
+    if (spec.isReplicated() && spec.cores != 1) {
+        // N cores running the same benchmark in offset address spaces
+        // (the scenario `cores` semantic, true-multicore shapes).
+        System sys(makeConfig(spec.policy, spec.opts, spec.cores));
+        RunObsSession watch(sys, spec);
+        std::vector<std::unique_ptr<AccessSource>> srcs;
+        std::vector<AccessSource *> ptrs;
+        for (unsigned c = 0; c < spec.cores; ++c) {
+            srcs.push_back(makeMixSource(spec.benchmark, c));
+            ptrs.push_back(srcs.back().get());
+        }
+        sys.run(ptrs, spec.opts.refs, spec.opts.warmup);
         return extract(sys);
     }
     System sys(makeConfig(spec.policy, spec.opts, 1));

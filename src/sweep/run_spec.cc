@@ -84,6 +84,20 @@ RunSpec::mix(std::string a, std::string b, PolicyKind policy,
     return s;
 }
 
+RunSpec
+RunSpec::replicated(std::string benchmark, unsigned cores,
+                    PolicyKind policy, const SweepOptions &opts)
+{
+    slip_assert(cores >= 1 && cores <= 64,
+                "replicated run needs 1-64 cores, got %u", cores);
+    RunSpec s;
+    s.benchmark = std::move(benchmark);
+    s.cores = cores;
+    s.policy = policy;
+    s.opts = opts;
+    return s;
+}
+
 namespace {
 
 /**
@@ -121,6 +135,12 @@ RunSpec::key() const
         return "mix_" + benchmarkKeyToken(benchmark) + "+" +
                benchmarkKeyToken(benchmarkB) + "_" +
                policyName(policy) + "_" + opts.key();
+    if (isReplicated() && cores != 1)
+        // v10: N-core replicated runs ("rep4_soplex_..."). A 1-core
+        // replicated spec is semantically a single and shares its key.
+        return "rep" + std::to_string(cores) + "_" +
+               benchmarkKeyToken(benchmark) + "_" +
+               policyName(policy) + "_" + opts.key();
     return benchmarkKeyToken(benchmark) + "_" + policyName(policy) +
            "_" + opts.key();
 }
@@ -131,6 +151,8 @@ RunSpec::label() const
     std::string l = benchmark;
     if (isMix())
         l += "+" + benchmarkB;
+    else if (isReplicated() && cores != 1)
+        l += "x" + std::to_string(cores);
     l += "/";
     l += policyName(policy);
     return l;

@@ -32,7 +32,11 @@ namespace slip {
  * on-disk entries are retired instead of parsed into partially-zero
  * results.
  */
-constexpr const char *kCacheKeyVersion = "v9";
+constexpr const char *kCacheKeyVersion = "v10";
+// v10: hierarchy keys fold in the sharing topology (slice count and
+// coherence flag per level), RunResult stats gained the coherence
+// cause bin (.ec10), and shared-LLC runs extract slice-combined LLC
+// stats instead of slice 0's.
 
 /** Sweep configuration shared by the experiment harnesses. */
 struct SweepOptions
@@ -74,15 +78,31 @@ struct RunSpec
     std::string benchmark;
     /** Core 1's benchmark for a two-core mix; empty for single-core. */
     std::string benchmarkB;
+    /**
+     * Core count for a replicated run: `benchmark` on every core with
+     * per-core address offsets (the scenario `cores` semantic). 0 for
+     * the legacy shapes — single (1 core) and mix (2 cores) — whose
+     * keys predate this field and must not change.
+     */
+    unsigned cores = 0;
     PolicyKind policy = PolicyKind::Baseline;
     SweepOptions opts;
 
     bool isMix() const { return !benchmarkB.empty(); }
+    bool isReplicated() const { return cores > 0; }
+    unsigned numCores() const
+    {
+        return cores > 0 ? cores : (isMix() ? 2u : 1u);
+    }
 
     static RunSpec single(std::string benchmark, PolicyKind policy,
                           const SweepOptions &opts);
     static RunSpec mix(std::string a, std::string b, PolicyKind policy,
                        const SweepOptions &opts);
+    /** @p benchmark replicated across @p cores cores (cores >= 1). */
+    static RunSpec replicated(std::string benchmark, unsigned cores,
+                              PolicyKind policy,
+                              const SweepOptions &opts);
 
     /** Unique cache key (also the on-disk cache file name). */
     std::string key() const;

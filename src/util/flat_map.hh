@@ -68,6 +68,11 @@ class PageMap
     {
         return _slots[probe(key)].val;
     }
+    V *
+    find(Addr key)
+    {
+        return _slots[probe(key)].val;
+    }
 
     std::size_t size() const { return _values.size(); }
 

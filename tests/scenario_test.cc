@@ -312,9 +312,9 @@ TEST(ScenarioValidation, MalformedJsonNeverCrashes)
 }
 
 // ---------------------------------------------------------------------
-// v9 cache keys.
+// v10 cache keys.
 
-TEST(CacheKeyV9, EmptyAndSpelledOutClassicShareKeys)
+TEST(CacheKeyV10, EmptyAndSpelledOutClassicShareKeys)
 {
     EXPECT_EQ(HierarchySpec{}.key(), HierarchySpec::classic().key());
 
@@ -326,10 +326,10 @@ TEST(CacheKeyV9, EmptyAndSpelledOutClassicShareKeys)
     const RunSpec b =
         RunSpec::single("soplex", PolicyKind::Slip, spelled);
     EXPECT_EQ(a.key(), b.key());
-    EXPECT_NE(a.key().find("_v9_"), std::string::npos) << a.key();
+    EXPECT_NE(a.key().find("_v10_"), std::string::npos) << a.key();
 }
 
-TEST(CacheKeyV9, FileScenarioMatchesProgrammaticConfig)
+TEST(CacheKeyV10, FileScenarioMatchesProgrammaticConfig)
 {
     // The golden scenario spells out the classic hierarchy in JSON;
     // a legacy programmatic SweepOptions must hit the same cache
@@ -355,7 +355,7 @@ TEST(CacheKeyV9, FileScenarioMatchesProgrammaticConfig)
                   .key());
 }
 
-TEST(CacheKeyV9, OneFieldEditMisses)
+TEST(CacheKeyV10, OneFieldEditMisses)
 {
     SweepOptions base;
     base.hierarchy = HierarchySpec::classic();
@@ -375,6 +375,30 @@ TEST(CacheKeyV9, OneFieldEditMisses)
     edit = base;
     edit.hierarchy.levels[1].policy = "lru-pea";
     EXPECT_NE(RunSpec::single("soplex", PolicyKind::Slip, edit).key(),
+              k0);
+
+    // Sharing-topology fields are part of the v10 key: a one-field
+    // edit to the slice count or the shared flag must miss while an
+    // unrelated run still hits (cache hygiene for the NUCA work).
+    edit = base;
+    edit.hierarchy.levels[2].slices = 4;
+    EXPECT_NE(RunSpec::single("soplex", PolicyKind::Slip, edit).key(),
+              k0);
+
+    edit = base;
+    edit.hierarchy.levels[2].coherent = true;
+    EXPECT_NE(RunSpec::single("soplex", PolicyKind::Slip, edit).key(),
+              k0);
+
+    edit = base;
+    edit.hierarchy.levels[1].isPrivate = false;  // flip shared flag
+    EXPECT_NE(RunSpec::single("soplex", PolicyKind::Slip, edit).key(),
+              k0);
+
+    // An unrelated run is unaffected: rebuilding the identical spec
+    // reproduces the identical key, so cached classic results still
+    // hit after the sharing-topology fields joined the key format.
+    EXPECT_EQ(RunSpec::single("soplex", PolicyKind::Slip, base).key(),
               k0);
 }
 
@@ -492,6 +516,98 @@ TEST(ScenarioEndToEnd, FourLevelHierarchy)
     EXPECT_EQ(sys2.fullSystemEnergyPj(), sys.fullSystemEnergyPj());
     EXPECT_EQ(sys2.combinedLevelStats(3).demandHits,
               sys.combinedLevelStats(3).demandHits);
+}
+
+/** Run the scenario's cores at @p run_threads, dump the stats. */
+std::string
+runScenario(const Scenario &s, unsigned run_threads)
+{
+    SystemConfig cfg = scenarioSystemConfig(s);
+    cfg.runThreads = run_threads;
+    System sys(cfg);
+    std::vector<std::unique_ptr<AccessSource>> owned;
+    std::vector<AccessSource *> sources;
+    for (unsigned c = 0; c < s.cores; ++c) {
+        owned.push_back(makeMixSource(s.workloads[0], c,
+                                      s.workloadSeed));
+        sources.push_back(owned.back().get());
+    }
+    sys.run(sources, s.refs, s.warmup);
+    std::ostringstream os;
+    dumpStats(sys, os);
+    return os.str();
+}
+
+/**
+ * Golden fixture for the 4-core shared-coherent-LLC scenario:
+ * serial and pipelined runs must both reproduce the checked-in
+ * stats dump byte-for-byte (the merge stage replays directory
+ * bookkeeping in serial reference order), the ledger must still
+ * partition every level's energy with the coherence bin live, and
+ * the slice/coherence counters must be present and nonzero.
+ * SLIP_GOLDEN_REGEN=1 rewrites tests/golden/shared4.Baseline.txt.
+ */
+TEST(ScenarioEndToEnd, SharedCoherentLlcGolden)
+{
+    Scenario s;
+    ASSERT_EQ(loadScenarioFile(std::string(SLIP_SCENARIO_DIR) +
+                                   "/hier3_shared4.json",
+                               s),
+              "");
+    ASSERT_EQ(s.cores, 4u);
+
+    obs::setMetricsEnabled(true);
+    SystemConfig cfg = scenarioSystemConfig(s);
+    cfg.runThreads = 1;
+    System sys(cfg);
+    std::vector<std::unique_ptr<AccessSource>> owned;
+    std::vector<AccessSource *> sources;
+    for (unsigned c = 0; c < s.cores; ++c) {
+        owned.push_back(makeMixSource(s.workloads[0], c,
+                                      s.workloadSeed));
+        sources.push_back(owned.back().get());
+    }
+    sys.run(sources, s.refs, s.warmup);
+    checkScenarioRun(sys, s.refs);
+
+    // Coherence-lite is live: every demand write probed the
+    // directory and the modelled probe energy landed in the
+    // `coherence` cause bin of the shared level.
+    ASSERT_TRUE(sys.coherenceEnabled());
+    EXPECT_GT(sys.coherenceWriteProbes(), 0u);
+    const unsigned llc = sys.numLevels() - 1;
+    EXPECT_GT(sys.combinedLevelStats(llc).causePj[static_cast<unsigned>(
+                  obs::EnergyCause::Coherence)],
+              0.0);
+    // Every NUCA slice took traffic (slice hot-spotting visibility).
+    ASSERT_EQ(sys.levelSlices(llc), 4u);
+    for (unsigned u = 0; u < sys.levelUnits(llc); ++u)
+        EXPECT_GT(sys.levelUnit(llc, u).stats().demandAccesses, 0u)
+            << "slice " << u;
+    obs::setMetricsEnabled(false);
+
+    std::ostringstream os;
+    dumpStats(sys, os);
+    const std::string got = os.str();
+
+    const std::string path =
+        std::string(SLIP_GOLDEN_DIR) + "/shared4.Baseline.txt";
+    if (std::getenv("SLIP_GOLDEN_REGEN")) {
+        std::ofstream out(path, std::ios::binary);
+        ASSERT_TRUE(out.good()) << "cannot write fixture " << path;
+        out << got;
+        ASSERT_TRUE(out.good()) << "short write to " << path;
+        GTEST_SKIP() << "regenerated " << path;
+    }
+    EXPECT_EQ(got, readFile(path))
+        << "the shared-LLC scenario diverged from its golden fixture "
+        << path;
+
+    // Pipelined execution is a strategy, not a configuration: the
+    // fixture must also hold at the scenario's run_threads hint.
+    const std::string piped = runScenario(s, 4);
+    EXPECT_EQ(got, piped)
+        << "--run-threads 4 diverged from the serial shared-LLC dump";
 }
 
 } // namespace

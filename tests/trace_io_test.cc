@@ -560,6 +560,124 @@ TEST(ChampSimImportTest, RejectsBadInputs)
 }
 
 // ---------------------------------------------------------------------
+// Sniper-style cpu_trace importer conformance
+// ---------------------------------------------------------------------
+
+void
+writeText(const std::string &path, const std::string &text)
+{
+    std::ofstream os(path, std::ios::binary);
+    os << text;
+}
+
+TEST(CpuTraceImportTest, ConvertsKnownRecords)
+{
+    const std::string in = tempPath("ct_in.cpu_trace");
+    const std::string out = tempPath("ct_out.trc2");
+    // Comments, blank lines, bare and 0x hex, lowercase r/w, a
+    // cumulative per-core icount column on some lines, and a core
+    // gap (core 1 unused) sizing the core table to max-core + 1.
+    writeText(in,
+              "# sniper-style cpu_trace conformance fixture\n"
+              "0 R 0x1000 5\n"
+              "\n"
+              "2 W 2040    # trailing comment, bare hex, no icount\n"
+              "0 r 0x1040 9\n"
+              "2 w 0x2080 12\n"
+              "0 R 0x1080\n");
+
+    CpuTraceImportStats stats;
+    ASSERT_EQ(importCpuTrace(in, out, &stats), "");
+    EXPECT_EQ(stats.records, 5u);
+    EXPECT_EQ(stats.reads, 3u);
+    EXPECT_EQ(stats.writes, 2u);
+    EXPECT_EQ(stats.cores, 3u);
+
+    // Exact converted record list: deltas are per-core (core 0's 9
+    // follows its own 5, not core 2's line in between); lines
+    // without the column count one instruction.
+    struct Expect
+    {
+        unsigned core;
+        std::uint64_t addr;
+        bool write;
+        std::uint64_t icount;
+    };
+    const Expect want[] = {
+        {0, 0x1000, false, 5},
+        {2, 0x2040, true, 1},
+        {0, 0x1040, false, 4},
+        {2, 0x2080, true, 12},
+        {0, 0x1080, false, 1},
+    };
+    TraceReader r;
+    ASSERT_EQ(r.open(out), "");
+    EXPECT_EQ(r.info().format, TraceFormat::Sliptrc2);
+    EXPECT_EQ(r.info().coreCount, 3u);
+    EXPECT_EQ(r.info().recordCount, 5u);
+    std::string err;
+    TraceRecord rec;
+    for (const Expect &w : want) {
+        ASSERT_TRUE(r.next(rec, err)) << err;
+        EXPECT_EQ(rec.core, w.core);
+        EXPECT_EQ(rec.addr, w.addr);
+        EXPECT_EQ(rec.write, w.write);
+        EXPECT_EQ(rec.icountDelta, w.icount);
+    }
+    EXPECT_FALSE(r.next(rec, err));
+    EXPECT_EQ(err, "");
+
+    // The multicore scan `slip-trace info` prints: per-core record
+    // counts with the unused core reported as zero.
+    TraceScan scan;
+    ASSERT_EQ(scanTrace(out, scan), "");
+    ASSERT_EQ(scan.perCore.size(), 3u);
+    EXPECT_EQ(scan.perCore[0], 3u);
+    EXPECT_EQ(scan.perCore[1], 0u);
+    EXPECT_EQ(scan.perCore[2], 2u);
+
+    std::filesystem::remove(in);
+    std::filesystem::remove(out);
+}
+
+TEST(CpuTraceImportTest, RejectsBadInputs)
+{
+    const std::string out = tempPath("ct_rej.trc2");
+    struct Bad
+    {
+        const char *name;
+        const char *text;
+        const char *expect;
+    };
+    const Bad bad[] = {
+        {"empty", "# only a comment\n\n",
+         "empty cpu_trace (no reference lines)"},
+        {"few_fields", "0 R\n", ":1: expected <core> <R|W> <addr>"},
+        {"many_fields", "0 R 0x10 5 junk\n", ":1: trailing fields"},
+        {"bad_core", "x R 0x10\n", ":1: bad core id 'x'"},
+        {"core_range", "0 R 0x10\n64 R 0x20\n",
+         ":2: core id 64 out of range"},
+        {"bad_rw", "0 L 0x10\n", ":1: bad access type 'L'"},
+        {"bad_addr", "0 R zz\n", ":1: bad hex address 'zz'"},
+        {"bad_icount", "0 R 0x10 5x\n", ":1: bad icount '5x'"},
+        {"icount_regress", "0 R 0x10 9\n0 W 0x20 4\n",
+         ":2: non-monotone icount for core 0 (4 after 9)"},
+    };
+    for (const Bad &b : bad) {
+        SCOPED_TRACE(b.name);
+        const std::string in =
+            tempPath(std::string("ct_") + b.name + ".cpu_trace");
+        writeText(in, b.text);
+        const std::string err = importCpuTrace(in, out);
+        ASSERT_FALSE(err.empty());
+        EXPECT_NE(err.find(in), std::string::npos) << err;
+        EXPECT_NE(err.find(b.expect), std::string::npos) << err;
+        std::filesystem::remove(in);
+    }
+    std::filesystem::remove(out);
+}
+
+// ---------------------------------------------------------------------
 // v9 cache keys: trace content is part of the benchmark token
 // ---------------------------------------------------------------------
 
@@ -583,7 +701,7 @@ TEST(TraceCacheKeyTest, ContentChangesKey)
         RunSpec::single("trace:" + path, PolicyKind::Baseline, opts)
             .key();
     EXPECT_EQ(k1, k1again);
-    EXPECT_NE(k1.find("_v9_"), std::string::npos) << k1;
+    EXPECT_NE(k1.find("_v10_"), std::string::npos) << k1;
     EXPECT_NE(k1.find("trace-"), std::string::npos) << k1;
     // Keys double as on-disk cache file names, so the path must be
     // hashed, never embedded.

@@ -4,8 +4,9 @@
 #   asan   -DSLIP_SANITIZE=address      full ctest suite
 #   ubsan  -DSLIP_SANITIZE=undefined    full ctest suite (fatal UB)
 #   tsan   -DSLIP_SANITIZE=thread       concurrency gate: the parallel
-#          sweep engine tests, a multi-job slip-bench sweep, and a
-#          sharded --run-threads 4 multicore scenario
+#          sweep engine tests, the coherence-lite tests, a multi-job
+#          slip-bench sweep, and sharded --run-threads 4 scenarios
+#          (private-only and shared coherent sliced LLC)
 #
 # The full-suite runs exclude obs_test's wall-clock overhead budget
 # (ObsTest.DisabledPathUnderTwoPercentOfReferenceAccessTime): it
@@ -60,13 +61,16 @@ case "$mode" in
   tsan)
     cmake --build "$build_dir" -j \
           --target sweep_runner_test slip_policy_test sweep_test \
-                   slip-bench slip-sim | tail -5
+                   coherence_test slip-bench slip-sim | tail -5
 
     echo "== sweep_runner_test (TSan) =="
     "$build_dir/tests/sweep_runner_test"
 
     echo "== slip_policy_test (TSan) =="
     "$build_dir/tests/slip_policy_test"
+
+    echo "== coherence_test (TSan, merge-side invalidation replay) =="
+    "$build_dir/tests/coherence_test"
 
     echo "== slip-bench --jobs 4 (TSan, tiny sweep) =="
     SLIP_BENCH_REFS=20000 SLIP_BENCH_WARMUP=20000 \
@@ -77,6 +81,11 @@ case "$mode" in
     echo "== slip-sim --run-threads 4 (TSan, sharded pipeline) =="
     "$build_dir/src/slip-sim" \
         --scenario "$repo_root/scenarios/hier3_multicore4.json" \
+        --refs 20000 --warmup 20000 --run-threads 4 > /dev/null
+
+    echo "== slip-sim --run-threads 4 (TSan, shared coherent LLC) =="
+    "$build_dir/src/slip-sim" \
+        --scenario "$repo_root/scenarios/hier3_shared4.json" \
         --refs 20000 --warmup 20000 --run-threads 4 > /dev/null
     ;;
 esac

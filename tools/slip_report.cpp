@@ -109,6 +109,23 @@ closeEnough(double a, double b, double rel = 1e-9)
 
 // ---------------------------------------------------------------- validate
 
+/** Ledger cause bins the simulator can emit (obs::causeName). An
+ *  unrecognized bin would silently join the cause-sum identity, so
+ *  validate rejects it instead. */
+bool
+isKnownCause(const std::string &name)
+{
+    static const char *const kCauses[] = {
+        "demand_hit", "metadata_read", "fill",        "move",
+        "writeback",  "tag_meta",      "mq_probe",    "eou_op",
+        "dram_demand", "dram_metadata", "coherence",
+    };
+    for (const char *c : kCauses)
+        if (name == c)
+            return true;
+    return false;
+}
+
 void
 validateLevel(const std::string &name, const Value &lvl)
 {
@@ -121,8 +138,27 @@ validateLevel(const std::string &name, const Value &lvl)
     for (const auto &kv : segments->members())
         seg_sum += kv.second.asDouble();
     double cause_sum = 0;
-    for (const auto &kv : causes->members())
+    for (const auto &kv : causes->members()) {
+        if (!isKnownCause(kv.first))
+            complain("level " + name + ": unknown ledger cause '" +
+                     kv.first + "'");
+        if (!(kv.second.asDouble() >= 0.0))
+            complain("level " + name + ": negative ledger cause '" +
+                     kv.first + "'");
         cause_sum += kv.second.asDouble();
+    }
+    // Coherence-lite traffic (directory probes + write-invalidates)
+    // is charged on the metadata wire segment, so the coherence bin
+    // can never exceed that segment's total.
+    if (const Value *coh = causes->find("coherence")) {
+        const Value *meta = segments->find("metadata");
+        const double m = meta ? meta->asDouble() : 0.0;
+        if (coh->asDouble() > m * (1 + 1e-9) + 1e-6)
+            complain("level " + name + ": coherence cause " +
+                     slip::json::formatDouble(coh->asDouble()) +
+                     " exceeds the metadata segment " +
+                     slip::json::formatDouble(m));
+    }
     const double t = total->asDouble();
     if (!closeEnough(seg_sum, t))
         complain("level " + name + ": segment sum " +

@@ -46,7 +46,7 @@ usage()
         "  slip-trace capture --workload NAME -o OUT [--cores N]\n"
         "             [--refs N] [--seed S]\n"
         "             [--format sliptrc2|sliptrc1|text]\n"
-        "  slip-trace import --from champsim IN -o OUT\n"
+        "  slip-trace import --from champsim|cpu_trace IN -o OUT\n"
         "  slip-trace info FILE\n"
         "  slip-trace validate FILE\n",
         stderr);
@@ -83,8 +83,10 @@ scanAndReport(const std::string &path, bool verbose)
         std::printf("icount       %llu%s\n",
                     static_cast<unsigned long long>(scan.icountTotal),
                     scan.info.hasIcount ? "" : " (implied, 1/record)");
+        // Per-core breakdown, aligned for two-digit core ids so
+        // 16/32/64-core captures stay column-stable.
         for (std::size_t c = 0; c < scan.perCore.size(); ++c)
-            std::printf("core%zu        %llu records\n", c,
+            std::printf("core%-9zu%llu records\n", c,
                         static_cast<unsigned long long>(
                             scan.perCore[c]));
     } else {
@@ -185,22 +187,36 @@ doImport(int argc, char **argv)
     }
     if (in.empty() || out.empty())
         return usage();
-    if (from != "champsim")
-        return fail("unknown import format '" + from +
-                    "' (supported: champsim)");
-
-    ChampSimImportStats stats;
-    const std::string err = importChampSimTrace(in, out, &stats);
-    if (!err.empty())
-        return fail(err);
-    std::printf("imported %llu records (%llu reads, %llu writes) "
-                "from %llu instructions: %s -> %s\n",
-                static_cast<unsigned long long>(stats.records),
-                static_cast<unsigned long long>(stats.reads),
-                static_cast<unsigned long long>(stats.writes),
-                static_cast<unsigned long long>(stats.instructions),
-                in.c_str(), out.c_str());
-    return 0;
+    if (from == "champsim") {
+        ChampSimImportStats stats;
+        const std::string err = importChampSimTrace(in, out, &stats);
+        if (!err.empty())
+            return fail(err);
+        std::printf("imported %llu records (%llu reads, %llu writes) "
+                    "from %llu instructions: %s -> %s\n",
+                    static_cast<unsigned long long>(stats.records),
+                    static_cast<unsigned long long>(stats.reads),
+                    static_cast<unsigned long long>(stats.writes),
+                    static_cast<unsigned long long>(
+                        stats.instructions),
+                    in.c_str(), out.c_str());
+        return 0;
+    }
+    if (from == "cpu_trace" || from == "cpu-trace") {
+        CpuTraceImportStats stats;
+        const std::string err = importCpuTrace(in, out, &stats);
+        if (!err.empty())
+            return fail(err);
+        std::printf("imported %llu records (%llu reads, %llu writes) "
+                    "over %u core(s): %s -> %s\n",
+                    static_cast<unsigned long long>(stats.records),
+                    static_cast<unsigned long long>(stats.reads),
+                    static_cast<unsigned long long>(stats.writes),
+                    stats.cores, in.c_str(), out.c_str());
+        return 0;
+    }
+    return fail("unknown import format '" + from +
+                "' (supported: champsim, cpu_trace)");
 }
 
 } // namespace

@@ -231,6 +231,24 @@ checkLevelStats(const Value &v, const std::string &where)
         complain(where + ".sublevels", "expected a non-empty array");
 }
 
+/** A shared level may carry a per-NUCA-slice breakdown. */
+void
+checkSharedLevelStats(const Value &v, const std::string &where)
+{
+    checkLevelStats(v, where);
+    const Value *slices = v.isObject() ? v.find("slices") : nullptr;
+    if (!slices)
+        return;
+    if (!slices->isArray() || slices->size() < 2) {
+        complain(where + ".slices",
+                 "expected an array of at least two slice blocks");
+        return;
+    }
+    for (std::size_t s = 0; s < slices->size(); ++s)
+        checkLevelStats(slices->elements()[s],
+                        where + ".slices[" + std::to_string(s) + "]");
+}
+
 int
 validateStats(const std::string &path)
 {
@@ -312,13 +330,26 @@ validateStats(const std::string &path)
         }
     }
 
+    // Coherence-lite counters appear only on coherent hierarchies
+    // (DESIGN.md §5c); when present the block is three counters.
+    if (const Value *coh = root.find("coherence")) {
+        if (!coh->isObject()) {
+            complain("$.coherence", "expected an object");
+        } else {
+            checkNumber(*coh, "$.coherence", "write_probes");
+            checkNumber(*coh, "$.coherence", "invalidations");
+            checkNumber(*coh, "$.coherence", "dirty_writebacks");
+        }
+    }
+
     // Any unrecognized root key is a shared cache level.
     for (const auto &kv : root.members()) {
         if (kv.first == "system" || kv.first == "cores" ||
             kv.first == "dram" || kv.first == "eou" ||
-            kv.first == "pagetable" || kv.first == "metadata")
+            kv.first == "pagetable" || kv.first == "metadata" ||
+            kv.first == "coherence")
             continue;
-        checkLevelStats(kv.second, "$." + kv.first);
+        checkSharedLevelStats(kv.second, "$." + kv.first);
         ++levels;
     }
     if (levels < 2)
